@@ -1,0 +1,24 @@
+"""ST — Section 4.5: Cramér-von Mises significance tests."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import significance_tests
+
+
+def bench_cvm(benchmark, analysis):
+    tests = benchmark(lambda: significance_tests(analysis))
+    paper = {
+        "paste_uk_p": "0.0017415",
+        "paste_us_p": "0.0000007",
+        "forum_uk_p": "0.272883",
+        "forum_us_p": "0.272011",
+    }
+    rows = [
+        (name, paper[name], f"{value:.7f}")
+        for name, value in tests.summary().items()
+    ]
+    print_comparison("Cramér-von Mises tests (reject at p<0.01)", rows)
+    assert tests.paste_uk.rejects_null(0.01)
+    assert tests.paste_us.rejects_null(0.01)
+    assert not tests.forum_uk.rejects_null(0.01)
+    assert not tests.forum_us.rejects_null(0.01)

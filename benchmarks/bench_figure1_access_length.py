@@ -1,0 +1,23 @@
+"""F1 — Figure 1: CDF of unique-access length per taxonomy class."""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import figure1_series
+
+
+def bench_figure1(benchmark, analysis):
+    series = benchmark(lambda: figure1_series(analysis))
+    rows = []
+    for label, ecdf in sorted(series.items()):
+        rows.append(
+            (
+                f"{label}: share under 1 day",
+                "majority short" if label != "hijacker" else "long tail",
+                f"{ecdf.evaluate(1.0):.2f} (n={ecdf.n})",
+            )
+        )
+    print_comparison("Figure 1 — access-length CDFs", rows)
+    assert series["curious"].evaluate(1.0) > 0.5
+    for tailed in ("gold_digger", "hijacker"):
+        if tailed in series:
+            assert series[tailed].evaluate(2.0) <= 1.0

@@ -1,0 +1,31 @@
+"""F2 — Figure 2: distribution of access types per leak outlet."""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import figure2_series
+
+
+def bench_figure2(benchmark, analysis):
+    shares = benchmark(lambda: figure2_series(analysis))
+    expectations = {
+        ("paste", "hijacker"): "~0.20",
+        ("forum", "gold_digger"): "~0.30 (max)",
+        ("malware", "hijacker"): "0.00",
+        ("malware", "spammer"): "0.00",
+    }
+    rows = [
+        (
+            f"{outlet}/{label}",
+            expectations.get((outlet, label), "-"),
+            f"{value:.2f}",
+        )
+        for outlet, dist in sorted(shares.items())
+        for label, value in sorted(dist.items())
+        if value > 0 or (outlet, label) in expectations
+    ]
+    print_comparison("Figure 2 — taxonomy by outlet", rows)
+    assert shares["malware"]["hijacker"] == 0.0
+    assert shares["malware"]["spammer"] == 0.0
+    assert (
+        shares["forum"]["gold_digger"] >= shares["paste"]["gold_digger"]
+    )

@@ -1,0 +1,21 @@
+"""F3 — Figure 3: CDF of time from leak to first access per outlet."""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import figure3_series
+
+
+def bench_figure3(benchmark, analysis):
+    series = benchmark(lambda: figure3_series(analysis))
+    paper = {"paste": 0.80, "forum": 0.60, "malware": 0.40}
+    rows = [
+        (
+            f"{outlet}: P(first access < 25 days)",
+            f"{paper[outlet]:.2f}",
+            f"{series[outlet].evaluate(25.0):.2f}",
+        )
+        for outlet in ("paste", "forum", "malware")
+    ]
+    print_comparison("Figure 3 — leak-to-access CDFs @25d", rows)
+    at_25 = {o: e.evaluate(25.0) for o, e in series.items()}
+    assert at_25["paste"] > at_25["forum"] > at_25["malware"]

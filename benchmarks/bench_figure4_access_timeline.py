@@ -1,0 +1,38 @@
+"""F4 — Figure 4: leak-to-access timeline scatter per outlet."""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import figure4_series
+
+
+def bench_figure4(benchmark, analysis):
+    points = benchmark(lambda: figure4_series(analysis))
+    russian = analysis.delays_by_group.get("paste_russian_noloc", [])
+    malware_delays = [d for d, _ in points.get("malware", [])]
+    late_bursts = [d for d in malware_delays if d > 85.0]
+    rows = [
+        (
+            "russian-paste first activity (days)",
+            "> 60",
+            f"{min(russian):.0f}" if russian else "n/a",
+        ),
+        (
+            "malware accesses after day 85",
+            "resale bursts",
+            str(len(late_bursts)),
+        ),
+        (
+            "paste accesses plotted",
+            "-",
+            str(len(points.get("paste", []))),
+        ),
+        (
+            "forum accesses plotted",
+            "-",
+            str(len(points.get("forum", []))),
+        ),
+    ]
+    print_comparison("Figure 4 — access timeline", rows)
+    if russian:
+        assert min(russian) > 55.0
+    assert late_bursts

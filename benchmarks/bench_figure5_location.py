@@ -1,0 +1,29 @@
+"""F5 — Figure 5: median distance circles from the UK/US midpoints."""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import figure5_series
+
+
+def bench_figure5(benchmark, analysis):
+    radii = benchmark(lambda: figure5_series(analysis))
+    paper = {
+        ("uk", "paste_uk"): 1400,
+        ("uk", "paste_noloc"): 1784,
+        ("us", "paste_us"): 939,
+        ("us", "paste_noloc"): 7900,
+    }
+    rows = []
+    for panel in ("uk", "us"):
+        for category, radius in sorted(radii[panel].items()):
+            expected = paper.get((panel, category))
+            rows.append(
+                (
+                    f"{panel}/{category} median radius (km)",
+                    str(expected) if expected else "-",
+                    f"{radius:.0f}",
+                )
+            )
+    print_comparison("Figure 5 — median circles", rows)
+    assert radii["uk"]["paste_uk"] < radii["uk"]["paste_noloc"]
+    assert radii["us"]["paste_us"] < radii["us"]["paste_noloc"]

@@ -1,0 +1,29 @@
+"""OV/BL — Section 4.1 and 4.5 headline numbers."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import overview
+
+
+def bench_overview(benchmark, analysis, experiment_result):
+    stats = benchmark(
+        lambda: overview(analysis, experiment_result.blacklisted_ips)
+    )
+    print_comparison(
+        "Section 4.1 / 4.5 overview",
+        [
+            ("unique accesses", "327", str(stats.unique_accesses)),
+            ("emails read", "147", str(stats.emails_read)),
+            ("emails sent", "845", str(stats.emails_sent)),
+            ("unique drafts", "12", str(stats.unique_drafts)),
+            ("accounts blocked", "42", str(stats.blocked_accounts)),
+            ("accesses with location", "173", str(stats.located_accesses)),
+            ("accesses without location", "154",
+             str(stats.unlocated_accesses)),
+            ("countries observed", "29", str(stats.country_count)),
+            ("blacklisted IPs", "20", str(stats.blacklist_hits)),
+            ("malware-outlet accesses", "57",
+             str(stats.accesses_per_outlet.get("malware", 0))),
+        ],
+    )
+    assert stats.unique_accesses > 200

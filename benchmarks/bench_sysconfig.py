@@ -1,0 +1,46 @@
+"""SC — Section 4.4: system configuration of accesses."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import overview
+
+
+def bench_sysconfig(benchmark, analysis, experiment_result):
+    stats = benchmark(
+        lambda: overview(analysis, experiment_result.blacklisted_ips)
+    )
+    rows = [
+        (
+            "malware empty-UA share",
+            "1.00 (always)",
+            f"{stats.empty_ua_share_by_outlet.get('malware', 0):.2f}",
+        ),
+        (
+            "paste empty-UA share",
+            "0.00 (real browsers)",
+            f"{stats.empty_ua_share_by_outlet.get('paste', 0):.2f}",
+        ),
+        (
+            "forum empty-UA share",
+            "0.00 (real browsers)",
+            f"{stats.empty_ua_share_by_outlet.get('forum', 0):.2f}",
+        ),
+        (
+            "paste Android share",
+            "a fraction",
+            f"{stats.android_share_by_outlet.get('paste', 0):.2f}",
+        ),
+        (
+            "forum Android share",
+            "a fraction",
+            f"{stats.android_share_by_outlet.get('forum', 0):.2f}",
+        ),
+        (
+            "malware Android share",
+            "0.00 (computers only)",
+            f"{stats.android_share_by_outlet.get('malware', 0):.2f}",
+        ),
+    ]
+    print_comparison("Section 4.4 — system configuration", rows)
+    assert stats.empty_ua_share_by_outlet["malware"] == 1.0
+    assert stats.android_share_by_outlet["malware"] == 0.0

@@ -1,0 +1,19 @@
+"""T1 — Table 1: account groupings and leak outlets."""
+
+from conftest import print_comparison
+
+from repro.core.groups import paper_leak_plan
+
+
+def bench_table1(benchmark):
+    rows = benchmark(lambda: paper_leak_plan().table1_rows())
+    expected = {1: 30, 2: 20, 3: 10, 4: 20, 5: 20}
+    comparison = [
+        (f"group {number} accounts", str(expected[number]), str(count))
+        for number, count, _ in rows
+    ]
+    comparison.append(
+        ("total accounts", "100", str(sum(c for _, c, _ in rows)))
+    )
+    print_comparison("Table 1 — leak plan", comparison)
+    assert {n: c for n, c, _ in rows} == expected

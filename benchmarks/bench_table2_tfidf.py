@@ -1,0 +1,38 @@
+"""T2 — Table 2: searched words inferred via TF-IDF."""
+
+from conftest import print_comparison
+
+from repro.analysis.keywords import infer_searched_words
+
+PAPER_SEARCHED = (
+    "results", "bitcoin", "family", "seller", "localbitcoins",
+    "account", "payment", "bitcoins", "below", "listed",
+)
+PAPER_COMMON = (
+    "transfer", "please", "original", "company", "would",
+    "energy", "information", "about", "email", "power",
+)
+
+
+def bench_table2(benchmark, analysis, experiment_result):
+    inference = benchmark(
+        lambda: infer_searched_words(experiment_result.dataset)
+    )
+    searched = [r.term for r in inference.top_searched(10)]
+    common = [r.term for r in inference.top_corpus(10)]
+    rows = [
+        ("top searched words", ", ".join(PAPER_SEARCHED[:5]) + "...",
+         ", ".join(searched[:5]) + "..."),
+        ("overlap with paper searched set", "10/10",
+         f"{len(set(searched) & set(PAPER_SEARCHED))}/10"),
+        ("top corpus words", ", ".join(PAPER_COMMON[:5]) + "...",
+         ", ".join(common[:5]) + "..."),
+        ("overlap with paper common set", "10/10",
+         f"{len(set(common) & set(PAPER_COMMON))}/10"),
+        ("tfidf_A('bitcoin')", "0.0",
+         f"{inference.table.row('bitcoin').tfidf_a:.4f}"
+         if "bitcoin" in inference.table else "absent"),
+    ]
+    print_comparison("Table 2 — searched vs corpus words", rows)
+    assert len(set(searched) & set(PAPER_SEARCHED)) >= 5
+    assert len(set(common) & set(PAPER_COMMON)) >= 4

@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+The full experiment runs once per session (fast cadence config, fixed
+seed); each benchmark then measures the analysis step that regenerates
+its table or figure, and prints the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataset import analyze
+from repro.core.experiment import Experiment, ExperimentConfig
+
+BENCH_SEED = 2016
+
+
+@pytest.fixture(scope="session")
+def experiment_result():
+    """The shared measurement run all benchmarks analyse."""
+    experiment = Experiment(ExperimentConfig.fast(master_seed=BENCH_SEED))
+    return experiment.run()
+
+
+@pytest.fixture(scope="session")
+def analysis(experiment_result):
+    return analyze(
+        experiment_result.dataset,
+        scan_period=experiment_result.config.scan_period,
+    )
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured block under the benchmark output."""
+    print(f"\n=== {title} ===")
+    print(f"{'metric':<38}{'paper':>16}{'measured':>16}")
+    for metric, paper, measured in rows:
+        print(f"{metric:<38}{paper:>16}{measured:>16}")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Extending the framework: a custom leak plan on a new paste site.
+
+The paper's future work calls for "additional scenarios"; this example
+shows the extension points: register a new venue profile, build a custom
+leak plan (a small fleet of honey accounts leaked only there), run the
+measurement, and analyse it with the standard pipeline.
+
+Run:  python examples/custom_outlet.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze, overview
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.groups import GroupSpec, LeakPlan, LocationHint, OutletKind
+from repro.leaks.pastesites import SITE_PROFILES, PasteSiteProfile
+from repro.sim.clock import hours
+
+
+def main() -> None:
+    # 1. Register a venue: a niche dump site with a small but fast crowd.
+    SITE_PROFILES.setdefault(
+        "dumpz.example",
+        PasteSiteProfile(
+            audience_rate=2.5,
+            propagation_median_days=2.0,
+        ),
+    )
+
+    # 2. A custom leak plan: 12 accounts, one group, one venue.
+    plan = LeakPlan(
+        groups=(
+            GroupSpec(
+                name="dumpz_trial",
+                outlet=OutletKind.PASTE,
+                size=12,
+                location_hint=LocationHint.UK,
+                venues=("dumpz.example",),
+                table1_group=1,
+            ),
+        )
+    )
+
+    # 3. Run a shortened measurement on the custom plan.
+    config = ExperimentConfig(
+        master_seed=99,
+        duration_days=90.0,
+        scan_period=hours(2),
+        scrape_period=hours(3),
+        emails_per_account=(40, 60),
+        enable_case_studies=False,
+    )
+    experiment = Experiment(config, leak_plan=plan)
+    result = experiment.run()
+    analysis = analyze(result.dataset, scan_period=config.scan_period)
+    stats = overview(analysis, result.blacklisted_ips)
+
+    print(f"accounts deployed: {result.account_count}")
+    print(f"unique accesses in 90 days: {stats.unique_accesses}")
+    print(f"label totals: {stats.label_totals}")
+    delays = analysis.delays_by_group.get("dumpz_trial", [])
+    if delays:
+        print(f"median leak-to-access delay: "
+              f"{sorted(delays)[len(delays) // 2]:.1f} days")
+    circles = {c.category: c.radius_km for c in analysis.circles_uk}
+    if "paste_uk" in circles:
+        print(f"median distance from London: "
+              f"{circles['paste_uk']:.0f} km "
+              "(UK location was advertised)")
+    print("\nthe standard analysis pipeline ran unchanged on a custom "
+          "outlet — the framework is venue-agnostic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Reproduce the paper end-to-end: Table 1 through Figure 5.
+
+Runs the complete 7-month measurement on the simulated ecosystem and
+prints every table and figure the paper reports, with the published
+values alongside for comparison.
+
+Run:  python examples/full_experiment.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    analyze,
+    format_table2,
+    format_taxonomy_summary,
+    overview,
+    run_paper_experiment,
+    significance_tests,
+)
+from repro.analysis.figures import (
+    ascii_cdf,
+    figure2_series,
+    figure3_series,
+    figure5_series,
+)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2016
+    print(f"running the 7-month measurement (seed={seed})...")
+    started = time.time()
+    result = run_paper_experiment(seed=seed)
+    analysis = analyze(
+        result.dataset, scan_period=result.config.scan_period
+    )
+    print(f"done in {time.time() - started:.1f}s "
+          f"({result.events_executed} simulation events)\n")
+
+    stats = overview(analysis, result.blacklisted_ips)
+    print("== Section 4.1 overview (paper values in brackets) ==")
+    print(f"unique accesses: {stats.unique_accesses} [327]")
+    print(f"emails read:     {stats.emails_read} [147]")
+    print(f"emails sent:     {stats.emails_sent} [845]")
+    print(f"unique drafts:   {stats.unique_drafts} [12]")
+    print(f"blocked accounts:{stats.blocked_accounts} [42]")
+    print(f"located/unlocated accesses: {stats.located_accesses}/"
+          f"{stats.unlocated_accesses} [173/154]")
+    print(f"countries: {stats.country_count} [29]   "
+          f"blacklisted IPs: {stats.blacklist_hits} [20]")
+
+    print("\n== Taxonomy (Section 4.2) ==")
+    print(format_taxonomy_summary(analysis))
+    print("   [paper: curious 224, gold diggers 82, hijackers 36, "
+          "spammers 8]")
+
+    print("\n== Figure 2: access types per outlet ==")
+    for outlet, shares in sorted(figure2_series(analysis).items()):
+        parts = ", ".join(
+            f"{label}={value:.2f}"
+            for label, value in sorted(shares.items())
+            if value > 0
+        )
+        print(f"  {outlet:<8} {parts}")
+
+    print("\n== Figure 3: leak-to-access CDFs (days) ==")
+    print(ascii_cdf(figure3_series(analysis), max_x=236.0))
+    at25 = {
+        o: e.evaluate(25.0) for o, e in figure3_series(analysis).items()
+    }
+    print(f"P(<25d): {at25} [paper: paste .8, forum .6, malware .4]")
+
+    print("\n== Figure 5: median circles (km) ==")
+    for panel, radii in figure5_series(analysis).items():
+        print(f"  {panel}: " + ", ".join(
+            f"{k}={v:.0f}" for k, v in sorted(radii.items())
+        ))
+    print("   [paper uk: paste_loc 1400 / paste_noloc 1784; "
+          "us: paste_loc 939 / paste_noloc 7900]")
+
+    tests = significance_tests(analysis)
+    print("\n== Cramér-von Mises (Section 4.5) ==")
+    for name, p_value in tests.summary().items():
+        verdict = "reject" if p_value < 0.01 else "keep"
+        print(f"  {name}: p={p_value:.7f} -> {verdict} null")
+    print("   [paper: paste_uk .0017 reject, paste_us 7e-7 reject, "
+          "forums ~.27 keep]")
+
+    print("\n== Table 2: inferred searched words ==")
+    print(format_table2(analysis))
+
+
+if __name__ == "__main__":
+    main()

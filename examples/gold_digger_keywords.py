@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""What are gold diggers looking for?  (Section 4.6 / Table 2.)
+
+Runs the measurement, then walks through the TF-IDF inference step by
+step: how the read-set is assembled from script notifications, how the
+two documents are preprocessed, and why bitcoin vocabulary the corpus
+never contained ends up topping the searched-words ranking.
+
+Run:  python examples/gold_digger_keywords.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze, run_paper_experiment
+from repro.analysis.keywords import infer_searched_words
+from repro.core.notifications import NotificationKind
+
+
+def main() -> None:
+    result = run_paper_experiment(seed=2016)
+    dataset = result.dataset
+    analysis = analyze(dataset, scan_period=result.config.scan_period)
+
+    reads = [
+        n
+        for n in dataset.notifications
+        if n.kind is NotificationKind.READ and n.body_copy
+    ]
+    print(f"read-event notifications with content: {len(reads)}")
+    drafts_read = [n for n in reads if "bitcoin" in n.body_copy]
+    print(f"  ...of which mention bitcoin (blackmailer drafts/mail): "
+          f"{len(drafts_read)}")
+
+    inference = infer_searched_words(dataset)
+    print(f"\ndocument sizes: read={inference.read_term_count} terms, "
+          f"all={inference.all_term_count} terms "
+          f"({inference.read_message_count} unique messages read)")
+
+    print("\ntop 10 words by tfidf_R - tfidf_A "
+          "(what attackers searched for):")
+    print(f"{'word':<16}{'tfidfR':>9}{'tfidfA':>9}{'diff':>9}")
+    for row in inference.top_searched(10):
+        print(f"{row.term:<16}{row.tfidf_r:>9.4f}{row.tfidf_a:>9.4f}"
+              f"{row.difference:>9.4f}")
+
+    print("\ntop 10 corpus words (tfidf_A), for contrast:")
+    for row in inference.top_corpus(10):
+        print(f"{row.term:<16}{row.tfidf_r:>9.4f}{row.tfidf_a:>9.4f}"
+              f"{row.difference:>9.4f}")
+
+    print(
+        "\nnote how the corpus-common words ('company', 'energy', "
+        "'transfer'...) have near-zero or negative differences, while "
+        "financial terms and the blackmailer's bitcoin vocabulary rank "
+        "top — the paper's Table 2 result."
+    )
+    # The ground-truth search log exists in the simulator (the provider
+    # records queries); compare the inference against it.
+    searched_truth = {
+        q.query for q in []  # provider logs are not in the dataset
+    }
+    del searched_truth  # observed-data analysis cannot use ground truth
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Compatibility shim: enables legacy editable installs.
+
+The sandboxed environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; ``pip install -e . --no-use-pep517``
+(or plain ``pip install -e .`` on older pips) falls back to this shim.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

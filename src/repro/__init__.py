@@ -1,0 +1,58 @@
+"""repro — reproduction of "What Happens After You Are Pwnd" (IMC 2016).
+
+A deterministic, seedable reimplementation of the paper's honey
+webmail-account ecosystem: the instrumented accounts and monitoring
+infrastructure (the paper's contribution, ``repro.core``), the webmail
+provider, leak outlets, malware sandbox, and internet substrate it runs
+on, a calibrated attacker population standing in for live criminal
+traffic, and the full Section 4 analysis pipeline.
+
+Quickstart::
+
+    from repro import run_paper_experiment, analyze, overview
+
+    result = run_paper_experiment(seed=2016)
+    analysis = analyze(result.dataset, scan_period=result.config.scan_period)
+    print(overview(analysis, result.blacklisted_ips))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured numbers on every table and figure.
+"""
+
+from repro.analysis.dataset import AnalysisResults, analyze
+from repro.analysis.report import (
+    OverviewStats,
+    SignificanceTests,
+    format_table2,
+    format_taxonomy_summary,
+    overview,
+    significance_tests,
+)
+from repro.core.experiment import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    run_paper_experiment,
+)
+from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResults",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LeakPlan",
+    "OutletKind",
+    "OverviewStats",
+    "SignificanceTests",
+    "__version__",
+    "analyze",
+    "format_table2",
+    "format_taxonomy_summary",
+    "overview",
+    "paper_leak_plan",
+    "run_paper_experiment",
+    "significance_tests",
+]

@@ -1,0 +1,110 @@
+"""Cleaning and unique-access extraction.
+
+Section 4.1: "To avoid biasing our results, we removed all accesses made
+to honey accounts by IP addresses from our monitoring infrastructure.  We
+also removed all accesses that originated from the city where our
+monitoring infrastructure is located."  Then each *unique access* is a
+cookie identifier; repeated visits with the same cookie collapse into one
+access with ``t0`` (first observation) and ``t_last`` (last observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import ObservedAccess, ObservedDataset
+
+
+@dataclass(frozen=True)
+class UniqueAccess:
+    """One unique access: all observations of one cookie on one account."""
+
+    account_address: str
+    cookie_id: str
+    t0: float
+    t_last: float
+    observation_count: int
+    ip_addresses: tuple[str, ...]
+    city: str | None
+    country: str | None
+    latitude: float | None
+    longitude: float | None
+    device_kind: str
+    browser: str
+    os_family: str
+    empty_user_agent: bool
+
+    @property
+    def duration(self) -> float:
+        """Observed activity span (a lower bound, as in the paper)."""
+        return self.t_last - self.t0
+
+    @property
+    def has_location(self) -> bool:
+        return self.city is not None
+
+
+def clean_accesses(dataset: ObservedDataset) -> list[ObservedAccess]:
+    """Drop monitoring-infrastructure rows (by IP, then by city)."""
+    cleaned = []
+    for access in dataset.accesses:
+        if access.ip_address in dataset.monitor_ips:
+            continue
+        if (
+            dataset.monitor_city is not None
+            and access.city == dataset.monitor_city
+        ):
+            continue
+        cleaned.append(access)
+    return cleaned
+
+
+def extract_unique_accesses(
+    dataset: ObservedDataset,
+) -> list[UniqueAccess]:
+    """Collapse cleaned rows into cookie-level unique accesses.
+
+    Location and fingerprint fields come from the first located
+    observation of the cookie (cookies are per-device, so these are
+    stable in practice; the first row wins on conflict).
+    """
+    cleaned = clean_accesses(dataset)
+    by_cookie: dict[tuple[str, str], list[ObservedAccess]] = {}
+    for access in cleaned:
+        key = (access.account_address, access.cookie_id)
+        by_cookie.setdefault(key, []).append(access)
+    unique: list[UniqueAccess] = []
+    for (address, cookie_id), rows in by_cookie.items():
+        rows.sort(key=lambda r: r.timestamp)
+        first = rows[0]
+        located = next((r for r in rows if r.city is not None), first)
+        unique.append(
+            UniqueAccess(
+                account_address=address,
+                cookie_id=cookie_id,
+                t0=rows[0].timestamp,
+                t_last=rows[-1].timestamp,
+                observation_count=len(rows),
+                ip_addresses=tuple(
+                    dict.fromkeys(r.ip_address for r in rows)
+                ),
+                city=located.city,
+                country=located.country,
+                latitude=located.latitude,
+                longitude=located.longitude,
+                device_kind=first.device_kind,
+                browser=first.browser,
+                os_family=first.os_family,
+                empty_user_agent=(first.user_agent == ""),
+                )
+            )
+    unique.sort(key=lambda u: (u.t0, u.account_address, u.cookie_id))
+    return unique
+
+
+def observed_ip_strings(unique_accesses: list[UniqueAccess]) -> set[str]:
+    """All distinct IPs across unique accesses (for blacklist checks)."""
+    ips: set[str] = set()
+    for access in unique_accesses:
+        ips.update(access.ip_addresses)
+    return ips

@@ -1,0 +1,138 @@
+"""Two-sample Cramér-von Mises test (Anderson's version).
+
+Section 4.5 of the paper tests whether the distance vectors of with-
+location and without-location leak groups come from the same distribution;
+p < 0.01 rejects the null.  The statistic and its asymptotic p-value are
+implemented from scratch (scipy supplies only the Bessel/Gamma special
+functions); tests cross-check against ``scipy.stats.cramervonmises_2samp``
+where available.
+
+References:
+    Anderson (1962), "On the distribution of the two-sample Cramér-von
+    Mises criterion"; Cramér (1928).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class CvmResult:
+    """Outcome of one two-sample test."""
+
+    statistic: float  # the T statistic (Anderson's normalisation)
+    p_value: float
+    n: int
+    m: int
+
+    def rejects_null(self, alpha: float = 0.01) -> bool:
+        """True when the samples differ significantly at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _cdf_cvm_asymptotic(x: float, terms: int = 12) -> float:
+    """Asymptotic CDF of the Cramér-von Mises limiting distribution.
+
+    Uses the classical series representation in terms of modified Bessel
+    functions of the second kind (K_{1/4}); see Anderson & Darling (1952).
+    Accurate to ~1e-10 for x in (0.02, 5].
+    """
+    if x <= 0.0:
+        return 0.0
+    if x >= 6.0:
+        return 1.0
+    total = 0.0
+    sqrt_x = math.sqrt(x)
+    for k in range(terms):
+        coefficient = (
+            special.gamma(k + 0.5)
+            / (special.gamma(0.5) * special.factorial(k))
+        )
+        argument = (4 * k + 1) ** 2 / (16.0 * x)
+        if argument > 700.0:
+            continue  # exp underflow; term is numerically zero
+        term = (
+            coefficient
+            * math.sqrt(4 * k + 1)
+            * math.exp(-argument)
+            * special.kv(0.25, argument)
+        )
+        total += term
+    return min(1.0, total / (math.pi * sqrt_x))
+
+
+def cramer_von_mises_2samp(sample_x, sample_y) -> CvmResult:
+    """Two-sample Cramér-von Mises test with asymptotic p-value.
+
+    Args:
+        sample_x: first sample (e.g. distances for the with-location
+            group).
+        sample_y: second sample (the without-location group).
+
+    Returns:
+        A :class:`CvmResult`; ``p_value`` is the asymptotic upper tail of
+        the limiting distribution after Anderson's expectation/variance
+        standardisation.
+
+    Raises:
+        AnalysisError: if either sample has fewer than two observations.
+    """
+    x = np.asarray(sorted(sample_x), dtype=float)
+    y = np.asarray(sorted(sample_y), dtype=float)
+    n = int(x.size)
+    m = int(y.size)
+    if n < 2 or m < 2:
+        raise AnalysisError("both samples need at least two observations")
+    total = n + m
+    combined = np.concatenate([x, y])
+    # Midranks handle ties deterministically.
+    ranks = _rankdata(combined)
+    rank_x = ranks[:n]
+    rank_y = ranks[n:]
+    i = np.arange(1, n + 1, dtype=float)
+    j = np.arange(1, m + 1, dtype=float)
+    u = n * np.sum((rank_x - i) ** 2) + m * np.sum((rank_y - j) ** 2)
+    statistic = u / (n * m * total) - (4.0 * n * m - 1.0) / (6.0 * total)
+    # Standardise toward the limiting distribution (Anderson 1962).
+    expected = (1.0 + 1.0 / total) / 6.0
+    variance = (
+        (total + 1.0)
+        * (4.0 * n * m * total - 3.0 * (n * n + m * m) - 2.0 * n * m)
+        / (45.0 * total * total * 4.0 * n * m)
+    )
+    if variance <= 0:
+        raise AnalysisError("degenerate variance in CvM standardisation")
+    standardized = 1.0 / 6.0 + (statistic - expected) / math.sqrt(
+        45.0 * variance
+    )
+    p_value = max(0.0, 1.0 - _cdf_cvm_asymptotic(standardized))
+    return CvmResult(
+        statistic=float(statistic), p_value=float(p_value), n=n, m=m
+    )
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Midranks of ``values`` (average ranks for ties), 1-based."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_values = values[order]
+    index = 0
+    while index < values.size:
+        tie_end = index
+        while (
+            tie_end + 1 < values.size
+            and sorted_values[tie_end + 1] == sorted_values[index]
+        ):
+            tie_end += 1
+        midrank = 0.5 * (index + tie_end) + 1.0
+        for position in range(index, tie_end + 1):
+            ranks[order[position]] = midrank
+        index = tie_end + 1
+    return ranks

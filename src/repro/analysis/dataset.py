@@ -1,0 +1,128 @@
+"""One-call analysis entry point.
+
+``analyze(dataset)`` runs the full Section 4 pipeline over an observed
+dataset and returns an :class:`AnalysisResults` bundle the report,
+figures, examples and benchmarks all build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import (
+    UniqueAccess,
+    extract_unique_accesses,
+    observed_ip_strings,
+)
+from repro.analysis.durations import (
+    access_durations,
+    access_timeline,
+    group_time_to_first_access,
+    time_to_first_access,
+)
+from repro.analysis.geodist import MedianCircle, distance_vectors, median_circles
+from repro.analysis.keywords import KeywordInference, infer_searched_words
+from repro.analysis.taxonomy import (
+    ClassifiedAccess,
+    TaxonomyLabel,
+    classify_accesses,
+    label_counts,
+    outlet_label_distribution,
+)
+from repro.core.notifications import NotificationKind
+from repro.core.records import ObservedDataset
+from repro.sim.clock import hours
+
+
+@dataclass
+class AnalysisResults:
+    """Everything Section 4 derives from the observed dataset."""
+
+    dataset: ObservedDataset
+    unique_accesses: list[UniqueAccess]
+    classified: list[ClassifiedAccess]
+    label_totals: dict[TaxonomyLabel, int]
+    outlet_distribution: dict[str, dict[TaxonomyLabel, float]]
+    durations_by_label: dict[TaxonomyLabel, list[float]]
+    delays_by_outlet: dict[str, list[float]]
+    delays_by_group: dict[str, list[float]]
+    timeline_by_outlet: dict[str, list[tuple[float, str]]]
+    circles_uk: list[MedianCircle]
+    circles_us: list[MedianCircle]
+    distances_uk: dict[str, list[float]]
+    distances_us: dict[str, list[float]]
+    keywords: KeywordInference
+    emails_read: int = 0
+    emails_sent: int = 0
+    unique_drafts: int = 0
+    located_accesses: int = 0
+    unlocated_accesses: int = 0
+    countries: set[str] = field(default_factory=set)
+
+    @property
+    def total_unique_accesses(self) -> int:
+        return len(self.unique_accesses)
+
+    def accesses_for_outlet(self, outlet: str) -> list[UniqueAccess]:
+        return [
+            a
+            for a in self.unique_accesses
+            if self.dataset.provenance[a.account_address].group.outlet.value
+            == outlet
+        ]
+
+    def observed_ips(self) -> set[str]:
+        return observed_ip_strings(self.unique_accesses)
+
+
+def _count_actions(dataset: ObservedDataset) -> tuple[int, int, int]:
+    """(unique emails read, emails sent, unique drafts) from notifications."""
+    read_messages: set[tuple[str, str]] = set()
+    draft_messages: set[tuple[str, str]] = set()
+    sent = 0
+    for notification in dataset.notifications:
+        key = (notification.account_address, notification.message_id)
+        if notification.kind is NotificationKind.READ:
+            read_messages.add(key)
+        elif notification.kind is NotificationKind.SENT:
+            sent += 1
+        elif notification.kind is NotificationKind.DRAFT:
+            draft_messages.add(key)
+    return len(read_messages), sent, len(draft_messages)
+
+
+def analyze(
+    dataset: ObservedDataset, *, scan_period: float = hours(2)
+) -> AnalysisResults:
+    """Run the full analysis pipeline over one observed dataset."""
+    unique_accesses = extract_unique_accesses(dataset)
+    classified = classify_accesses(
+        dataset, unique_accesses, scan_period=scan_period
+    )
+    emails_read, emails_sent, unique_drafts = _count_actions(dataset)
+    located = [a for a in unique_accesses if a.has_location]
+    results = AnalysisResults(
+        dataset=dataset,
+        unique_accesses=unique_accesses,
+        classified=classified,
+        label_totals=label_counts(classified),
+        outlet_distribution=outlet_label_distribution(dataset, classified),
+        durations_by_label=access_durations(classified),
+        delays_by_outlet=time_to_first_access(dataset, unique_accesses),
+        delays_by_group=group_time_to_first_access(
+            dataset, unique_accesses
+        ),
+        timeline_by_outlet=access_timeline(dataset, unique_accesses),
+        circles_uk=median_circles(dataset, unique_accesses, "uk"),
+        circles_us=median_circles(dataset, unique_accesses, "us"),
+        distances_uk=distance_vectors(dataset, unique_accesses, "uk"),
+        distances_us=distance_vectors(dataset, unique_accesses, "us"),
+        keywords=infer_searched_words(dataset),
+        emails_read=emails_read,
+        emails_sent=emails_sent,
+        unique_drafts=unique_drafts,
+        located_accesses=len(located),
+        unlocated_accesses=len(unique_accesses) - len(located),
+        countries={a.country for a in located if a.country},
+    )
+    return results

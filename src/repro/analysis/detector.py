@@ -1,0 +1,163 @@
+"""Behavioural anomaly detection (the paper's Discussion proposal).
+
+Section 5 sketches two defences the honey-account findings motivate:
+
+* "Anomaly detection systems could be trained adaptively on words being
+  searched for over a period of time, by the legitimate account owner.
+  A deviation of searches from those words would then be flagged";
+* "Similarly, anomaly detection systems could be trained on durations of
+  connections during benign usage, and deviations from those could be
+  flagged as anomalous."
+
+This module implements both detectors and a combined scorer.  The
+vocabulary model scores how surprising a text is under the owner's
+smoothed unigram distribution; the duration model scores log-duration
+deviations.  Both are simple, interpretable baselines — exactly the kind
+of system the paper proposes building on this data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.corpus.text import prepare_document
+from repro.errors import AnalysisError
+
+
+@dataclass
+class VocabularyModel:
+    """Smoothed unigram model of the owner's typical vocabulary.
+
+    The anomaly score of a text is its mean per-term surprisal
+    (negative log probability, base e) under the trained model with
+    add-one smoothing; unseen terms are maximally surprising.
+    """
+
+    _counts: Counter = field(default_factory=Counter)
+    _total: int = 0
+
+    def train(self, texts: Iterable[str]) -> None:
+        """Accumulate the owner's benign content."""
+        for text in texts:
+            terms = prepare_document([text])
+            self._counts.update(terms)
+            self._total += len(terms)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._counts)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._total > 0
+
+    def term_surprisal(self, term: str) -> float:
+        """-ln P(term) with add-one smoothing."""
+        if not self.is_trained:
+            raise AnalysisError("vocabulary model is untrained")
+        numerator = self._counts.get(term, 0) + 1
+        denominator = self._total + self.vocabulary_size + 1
+        return -math.log(numerator / denominator)
+
+    def score_text(self, text: str) -> float:
+        """Mean per-term surprisal of ``text`` (0 for empty texts)."""
+        terms = prepare_document([text])
+        if not terms:
+            return 0.0
+        return sum(self.term_surprisal(t) for t in terms) / len(terms)
+
+    def score_terms(self, terms: list[str]) -> float:
+        """Mean surprisal of a pre-tokenised term list."""
+        if not terms:
+            return 0.0
+        return sum(self.term_surprisal(t) for t in terms) / len(terms)
+
+
+@dataclass
+class DurationModel:
+    """Gaussian model over log-durations of benign sessions."""
+
+    _log_durations: list[float] = field(default_factory=list)
+
+    def train(self, durations_seconds: Iterable[float]) -> None:
+        for duration in durations_seconds:
+            if duration <= 0:
+                continue
+            self._log_durations.append(math.log(duration))
+
+    @property
+    def is_trained(self) -> bool:
+        return len(self._log_durations) >= 2
+
+    def z_score(self, duration_seconds: float) -> float:
+        """Standardised deviation of a session duration from baseline."""
+        if not self.is_trained:
+            raise AnalysisError("duration model needs >= 2 samples")
+        if duration_seconds <= 0:
+            return 0.0
+        n = len(self._log_durations)
+        mean = sum(self._log_durations) / n
+        variance = sum(
+            (v - mean) ** 2 for v in self._log_durations
+        ) / max(n - 1, 1)
+        std = math.sqrt(variance) or 1e-9
+        return abs(math.log(duration_seconds) - mean) / std
+
+
+@dataclass(frozen=True)
+class AnomalyVerdict:
+    """Combined decision for one observed access."""
+
+    vocabulary_score: float
+    duration_z: float
+    is_anomalous: bool
+
+
+@dataclass
+class AccountAnomalyDetector:
+    """Combined detector, per the paper's Discussion section.
+
+    Args:
+        vocabulary_threshold: mean-surprisal level above which content
+            behaviour is anomalous.  The default sits midway between
+            corpus-typical reads (~4.3 nats/term) and blackmail content
+            (~8.0 nats/term) in this simulator; a real deployment would
+            calibrate on held-out benign traffic.
+        duration_z_threshold: |z| above which durations are anomalous.
+    """
+
+    vocabulary_threshold: float = 6.0
+    duration_z_threshold: float = 3.0
+    vocabulary: VocabularyModel = field(default_factory=VocabularyModel)
+    durations: DurationModel = field(default_factory=DurationModel)
+
+    def train(
+        self,
+        benign_texts: Iterable[str],
+        benign_durations: Iterable[float],
+    ) -> None:
+        """Fit both baselines on benign owner behaviour."""
+        self.vocabulary.train(benign_texts)
+        self.durations.train(benign_durations)
+
+    def assess(
+        self, accessed_text: str, duration_seconds: float
+    ) -> AnomalyVerdict:
+        """Score one access (the content it touched + how long it was)."""
+        vocabulary_score = self.vocabulary.score_text(accessed_text)
+        duration_z = (
+            self.durations.z_score(duration_seconds)
+            if self.durations.is_trained
+            else 0.0
+        )
+        return AnomalyVerdict(
+            vocabulary_score=vocabulary_score,
+            duration_z=duration_z,
+            is_anomalous=(
+                vocabulary_score > self.vocabulary_threshold
+                or duration_z > self.duration_z_threshold
+            ),
+        )

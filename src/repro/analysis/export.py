@@ -1,0 +1,145 @@
+"""Export analysis results to JSON and CSV.
+
+Downstream users (and the paper-comparison tooling) need the regenerated
+tables and figure series as plain files.  ``export_results`` writes one
+JSON document with every artifact plus per-figure CSV series into a
+directory, so results can be diffed across runs and plotted externally.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.dataset import AnalysisResults
+from repro.analysis.figures import (
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+)
+from repro.analysis.report import overview, significance_tests
+
+
+def results_to_dict(
+    results: AnalysisResults, blacklisted_ips: set[str] | None = None
+) -> dict:
+    """Bundle every paper artifact into one JSON-serialisable dict."""
+    stats = overview(results, blacklisted_ips)
+    tests = significance_tests(results)
+    return {
+        "overview": {
+            "unique_accesses": stats.unique_accesses,
+            "emails_read": stats.emails_read,
+            "emails_sent": stats.emails_sent,
+            "unique_drafts": stats.unique_drafts,
+            "blocked_accounts": stats.blocked_accounts,
+            "located_accesses": stats.located_accesses,
+            "unlocated_accesses": stats.unlocated_accesses,
+            "country_count": stats.country_count,
+            "blacklist_hits": stats.blacklist_hits,
+            "accesses_per_outlet": stats.accesses_per_outlet,
+            "label_totals": stats.label_totals,
+            "empty_ua_share_by_outlet": stats.empty_ua_share_by_outlet,
+            "android_share_by_outlet": stats.android_share_by_outlet,
+        },
+        "figure2": figure2_series(results),
+        "figure5": figure5_series(results),
+        "cvm_tests": tests.summary(),
+        "table2": {
+            "searched": [
+                {
+                    "term": row.term,
+                    "tfidf_r": row.tfidf_r,
+                    "tfidf_a": row.tfidf_a,
+                    "difference": row.difference,
+                }
+                for row in results.keywords.top_searched(10)
+            ],
+            "corpus": [
+                {
+                    "term": row.term,
+                    "tfidf_r": row.tfidf_r,
+                    "tfidf_a": row.tfidf_a,
+                    "difference": row.difference,
+                }
+                for row in results.keywords.top_corpus(10)
+            ],
+        },
+    }
+
+
+def _write_csv(path: Path, header: list[str], rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_results(
+    results: AnalysisResults,
+    output_dir: str | Path,
+    *,
+    blacklisted_ips: set[str] | None = None,
+) -> list[Path]:
+    """Write the full artifact bundle into ``output_dir``.
+
+    Produces ``results.json`` plus one CSV per figure series.  Returns
+    the list of files written.
+    """
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    json_path = directory / "results.json"
+    json_path.write_text(
+        json.dumps(
+            results_to_dict(results, blacklisted_ips), indent=2,
+            sort_keys=True,
+        )
+    )
+    written.append(json_path)
+
+    figure1 = directory / "figure1_access_length_cdf.csv"
+    rows = [
+        (label, f"{x:.6f}", f"{y:.6f}")
+        for label, ecdf in sorted(figure1_series(results).items())
+        for x, y in ecdf.series()
+    ]
+    _write_csv(figure1, ["label", "duration_days", "cdf"], rows)
+    written.append(figure1)
+
+    figure3 = directory / "figure3_time_to_access_cdf.csv"
+    rows = [
+        (outlet, f"{x:.6f}", f"{y:.6f}")
+        for outlet, ecdf in sorted(figure3_series(results).items())
+        for x, y in ecdf.series()
+    ]
+    _write_csv(figure3, ["outlet", "delay_days", "cdf"], rows)
+    written.append(figure3)
+
+    figure4 = directory / "figure4_access_timeline.csv"
+    rows = [
+        (outlet, f"{delay:.6f}", account)
+        for outlet, points in sorted(figure4_series(results).items())
+        for delay, account in points
+    ]
+    _write_csv(figure4, ["outlet", "delay_days", "account"], rows)
+    written.append(figure4)
+
+    distances = directory / "figure5_distance_vectors.csv"
+    rows = [
+        ("uk", category, f"{value:.3f}")
+        for category, values in sorted(results.distances_uk.items())
+        for value in values
+    ] + [
+        ("us", category, f"{value:.3f}")
+        for category, values in sorted(results.distances_us.items())
+        for value in values
+    ]
+    _write_csv(distances, ["panel", "category", "distance_km"], rows)
+    written.append(distances)
+
+    return written

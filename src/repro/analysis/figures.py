@@ -1,0 +1,89 @@
+"""Figure data series and lightweight ASCII rendering.
+
+Each ``figure*`` function returns the exact series the corresponding
+paper figure plots; ``ascii_cdf`` renders a quick terminal sketch used by
+the example scripts (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataset import AnalysisResults
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.taxonomy import TaxonomyLabel
+from repro.sim.clock import days
+
+
+def figure1_series(results: AnalysisResults) -> dict[str, Ecdf]:
+    """Figure 1: CDF of unique-access length (days) per taxonomy label."""
+    series: dict[str, Ecdf] = {}
+    for label in TaxonomyLabel:
+        durations = results.durations_by_label.get(label, [])
+        if durations:
+            series[label.value] = Ecdf.from_sample(
+                [d / days(1) for d in durations]
+            )
+    return series
+
+
+def figure2_series(
+    results: AnalysisResults,
+) -> dict[str, dict[str, float]]:
+    """Figure 2: per-outlet distribution of access types."""
+    return {
+        outlet: {label.value: share for label, share in shares.items()}
+        for outlet, shares in results.outlet_distribution.items()
+    }
+
+
+def figure3_series(results: AnalysisResults) -> dict[str, Ecdf]:
+    """Figure 3: CDF of leak-to-first-access delay (days) per outlet."""
+    return {
+        outlet: Ecdf.from_sample(delays)
+        for outlet, delays in results.delays_by_outlet.items()
+        if delays
+    }
+
+
+def figure4_series(
+    results: AnalysisResults,
+) -> dict[str, list[tuple[float, str]]]:
+    """Figure 4: (delay_days, account) scatter per outlet."""
+    return results.timeline_by_outlet
+
+
+def figure5_series(results: AnalysisResults) -> dict[str, dict[str, float]]:
+    """Figure 5: median circle radii (km) per category, per panel."""
+    return {
+        "uk": {c.category: c.radius_km for c in results.circles_uk},
+        "us": {c.category: c.radius_km for c in results.circles_us},
+    }
+
+
+def ascii_cdf(
+    series: dict[str, Ecdf],
+    *,
+    width: int = 60,
+    max_x: float | None = None,
+    title: str = "",
+) -> str:
+    """Render a set of ECDFs as rows of quantile markers.
+
+    One row per series: for each of ``width`` x positions, print the
+    number of series whose CDF has crossed 0.5 there — a rough but
+    dependency-free sketch used by the examples.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not series:
+        return "\n".join(lines + ["(no data)"])
+    upper = max_x or max(float(e.x[-1]) for e in series.values()) or 1.0
+    for name, ecdf in sorted(series.items()):
+        row = []
+        for i in range(width):
+            x = upper * (i + 1) / width
+            value = ecdf.evaluate(x)
+            row.append("#" if value >= 0.999 else str(int(value * 9)))
+        lines.append(f"{name:<12}|{''.join(row)}| n={ecdf.n}")
+    lines.append(f"{'':<12} 0 {'':<{width - 8}} {upper:.1f}")
+    return "\n".join(lines)

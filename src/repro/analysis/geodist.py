@@ -1,0 +1,114 @@
+"""Distance-from-midpoint analysis (Figure 5).
+
+For every located unique access the haversine distance to the advertised
+midpoint (London for the UK experiment, Pontiac IL for the US one) is
+computed; the per-category medians are the radii of the circles in
+Figures 5a/5b.  Categories combine the outlet (paste / forum) with
+whether the leak advertised location information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.accesses import UniqueAccess
+from repro.core.groups import LocationHint, OutletKind
+from repro.core.records import ObservedDataset
+from repro.netsim.cities import UK_MIDPOINT, US_MIDPOINT
+from repro.netsim.geo import haversine_km
+
+#: The categories plotted in each Figure 5 panel.
+UK_CATEGORIES = ("paste_noloc", "paste_uk", "forum_noloc", "forum_uk")
+US_CATEGORIES = ("paste_noloc", "paste_us", "forum_noloc", "forum_us")
+
+
+@dataclass(frozen=True)
+class MedianCircle:
+    """One circle of Figure 5: a category and its median radius."""
+
+    category: str
+    midpoint: str  # "uk" or "us"
+    radius_km: float
+    sample_size: int
+
+
+def _category_of(
+    outlet: OutletKind, hint: LocationHint
+) -> str | None:
+    if outlet is OutletKind.MALWARE:
+        return None  # essentially all Tor; excluded in §4.5
+    prefix = "paste" if outlet is OutletKind.PASTE else "forum"
+    if hint is LocationHint.NONE:
+        return f"{prefix}_noloc"
+    return f"{prefix}_{hint.value}"
+
+
+def distance_vectors(
+    dataset: ObservedDataset,
+    unique_accesses: list[UniqueAccess],
+    midpoint: str,
+) -> dict[str, list[float]]:
+    """Distances (km) from the requested midpoint, keyed by category.
+
+    Args:
+        midpoint: ``"uk"`` (London) or ``"us"`` (Pontiac, IL).
+    """
+    if midpoint == "uk":
+        center = UK_MIDPOINT
+    elif midpoint == "us":
+        center = US_MIDPOINT
+    else:
+        raise ValueError(f"midpoint must be 'uk' or 'us', got {midpoint!r}")
+    vectors: dict[str, list[float]] = {}
+    for access in unique_accesses:
+        if not access.has_location:
+            continue
+        provenance = dataset.provenance.get(access.account_address)
+        if provenance is None:
+            continue
+        category = _category_of(
+            provenance.group.outlet, provenance.group.location_hint
+        )
+        if category is None:
+            continue
+        assert access.latitude is not None and access.longitude is not None
+        distance = haversine_km(
+            access.latitude,
+            access.longitude,
+            center.latitude,
+            center.longitude,
+        )
+        vectors.setdefault(category, []).append(distance)
+    return vectors
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def median_circles(
+    dataset: ObservedDataset,
+    unique_accesses: list[UniqueAccess],
+    midpoint: str,
+) -> list[MedianCircle]:
+    """The Figure 5 circles for one midpoint panel."""
+    categories = UK_CATEGORIES if midpoint == "uk" else US_CATEGORIES
+    vectors = distance_vectors(dataset, unique_accesses, midpoint)
+    circles = []
+    for category in categories:
+        values = vectors.get(category, [])
+        if not values:
+            continue
+        circles.append(
+            MedianCircle(
+                category=category,
+                midpoint=midpoint,
+                radius_km=_median(values),
+                sample_size=len(values),
+            )
+        )
+    return circles

@@ -1,0 +1,76 @@
+"""Searched-word inference (Section 4.6, Table 2).
+
+Builds the two TF-IDF documents from observed artifacts only:
+
+* ``dR`` — the text of messages attackers read, taken from the
+  body copies the monitoring script shipped with READ notifications
+  (deduplicated per message);
+* ``dA`` — the text of every email seeded into the honey accounts, as
+  captured at provisioning time.
+
+Preprocessing follows the paper: drop words under five characters,
+header vocabulary, monitoring-signal tokens, and the honey email handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tfidf import TfidfRow, TfidfTable, compute_tfidf_table
+from repro.core.notifications import NotificationKind
+from repro.core.records import ObservedDataset
+from repro.corpus.text import prepare_document
+
+
+@dataclass
+class KeywordInference:
+    """Outcome of the searched-words analysis."""
+
+    table: TfidfTable
+    read_message_count: int
+    read_term_count: int
+    all_term_count: int
+
+    def top_searched(self, k: int = 10) -> list[TfidfRow]:
+        return self.table.top_by_difference(k)
+
+    def top_corpus(self, k: int = 10) -> list[TfidfRow]:
+        return self.table.top_by_corpus_weight(k)
+
+
+def _honey_handles(dataset: ObservedDataset) -> list[str]:
+    """Email handle tokens excluded from the corpus, as in the paper."""
+    handles: list[str] = []
+    for address in dataset.provenance:
+        local_part = address.split("@", 1)[0]
+        handles.extend(part for part in local_part.split(".") if part)
+    return handles
+
+
+def infer_searched_words(dataset: ObservedDataset) -> KeywordInference:
+    """Run the full Table 2 analysis over an observed dataset."""
+    seen_messages: set[tuple[str, str]] = set()
+    read_texts: list[str] = []
+    for notification in dataset.notifications:
+        if notification.kind is not NotificationKind.READ:
+            continue
+        if not notification.body_copy:
+            continue
+        key = (notification.account_address, notification.message_id)
+        if key in seen_messages:
+            continue
+        seen_messages.add(key)
+        read_texts.append(notification.body_copy)
+    all_texts: list[str] = []
+    for texts in dataset.all_email_texts.values():
+        all_texts.extend(texts)
+    exclusions = _honey_handles(dataset)
+    read_terms = prepare_document(read_texts, extra_exclusions=exclusions)
+    all_terms = prepare_document(all_texts, extra_exclusions=exclusions)
+    table = compute_tfidf_table(read_terms, all_terms)
+    return KeywordInference(
+        table=table,
+        read_message_count=len(seen_messages),
+        read_term_count=len(read_terms),
+        all_term_count=len(all_terms),
+    )

@@ -1,0 +1,151 @@
+"""Assembled tables: the Section 4 headline numbers and Table 2 text.
+
+Functions here turn :class:`~repro.analysis.dataset.AnalysisResults` into
+printable rows matching what the paper reports, used by the benchmarks
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cvm import CvmResult, cramer_von_mises_2samp
+from repro.analysis.dataset import AnalysisResults
+from repro.analysis.taxonomy import TaxonomyLabel
+
+
+@dataclass
+class OverviewStats:
+    """The Section 4.1 / 4.4 / 4.5 headline numbers."""
+
+    unique_accesses: int
+    emails_read: int
+    emails_sent: int
+    unique_drafts: int
+    blocked_accounts: int
+    located_accesses: int
+    unlocated_accesses: int
+    country_count: int
+    blacklist_hits: int
+    accesses_per_outlet: dict[str, int] = field(default_factory=dict)
+    label_totals: dict[str, int] = field(default_factory=dict)
+    empty_ua_share_by_outlet: dict[str, float] = field(default_factory=dict)
+    android_share_by_outlet: dict[str, float] = field(default_factory=dict)
+
+
+def overview(
+    results: AnalysisResults, blacklisted_ips: set[str] | None = None
+) -> OverviewStats:
+    """Compute the overview statistics block."""
+    per_outlet: dict[str, int] = {}
+    empty_ua: dict[str, list[bool]] = {}
+    android: dict[str, list[bool]] = {}
+    for access in results.unique_accesses:
+        provenance = results.dataset.provenance[access.account_address]
+        outlet = provenance.group.outlet.value
+        per_outlet[outlet] = per_outlet.get(outlet, 0) + 1
+        empty_ua.setdefault(outlet, []).append(access.empty_user_agent)
+        android.setdefault(outlet, []).append(
+            access.device_kind == "android"
+        )
+    hits = 0
+    if blacklisted_ips:
+        hits = len(results.observed_ips() & blacklisted_ips)
+    return OverviewStats(
+        unique_accesses=results.total_unique_accesses,
+        emails_read=results.emails_read,
+        emails_sent=results.emails_sent,
+        unique_drafts=results.unique_drafts,
+        blocked_accounts=len(results.dataset.blocked_accounts),
+        located_accesses=results.located_accesses,
+        unlocated_accesses=results.unlocated_accesses,
+        country_count=len(results.countries),
+        blacklist_hits=hits,
+        accesses_per_outlet=per_outlet,
+        label_totals={
+            label.value: count
+            for label, count in results.label_totals.items()
+        },
+        empty_ua_share_by_outlet={
+            outlet: sum(flags) / len(flags)
+            for outlet, flags in empty_ua.items()
+            if flags
+        },
+        android_share_by_outlet={
+            outlet: sum(flags) / len(flags)
+            for outlet, flags in android.items()
+            if flags
+        },
+    )
+
+
+@dataclass(frozen=True)
+class SignificanceTests:
+    """The four Cramér-von Mises tests of Section 4.5."""
+
+    paste_uk: CvmResult
+    paste_us: CvmResult
+    forum_uk: CvmResult
+    forum_us: CvmResult
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "paste_uk_p": self.paste_uk.p_value,
+            "paste_us_p": self.paste_us.p_value,
+            "forum_uk_p": self.forum_uk.p_value,
+            "forum_us_p": self.forum_us.p_value,
+        }
+
+
+def significance_tests(results: AnalysisResults) -> SignificanceTests:
+    """With-location vs no-location distance-vector tests.
+
+    Each test compares the distance vector of a with-location category
+    against the matching no-location category on the same midpoint panel.
+    """
+    return SignificanceTests(
+        paste_uk=cramer_von_mises_2samp(
+            results.distances_uk.get("paste_uk", []),
+            results.distances_uk.get("paste_noloc", []),
+        ),
+        paste_us=cramer_von_mises_2samp(
+            results.distances_us.get("paste_us", []),
+            results.distances_us.get("paste_noloc", []),
+        ),
+        forum_uk=cramer_von_mises_2samp(
+            results.distances_uk.get("forum_uk", []),
+            results.distances_uk.get("forum_noloc", []),
+        ),
+        forum_us=cramer_von_mises_2samp(
+            results.distances_us.get("forum_us", []),
+            results.distances_us.get("forum_noloc", []),
+        ),
+    )
+
+
+def format_table2(results: AnalysisResults, k: int = 10) -> str:
+    """Render Table 2 (searched words vs corpus words) as text."""
+    searched = results.keywords.top_searched(k)
+    corpus = results.keywords.top_corpus(k)
+    lines = [
+        f"{'searched word':<16}{'tfidfR':>9}{'tfidfA':>9}{'diff':>9}"
+        f"   |   {'common word':<16}{'tfidfR':>9}{'tfidfA':>9}{'diff':>9}"
+    ]
+    for left, right in zip(searched, corpus):
+        lines.append(
+            f"{left.term:<16}{left.tfidf_r:>9.4f}{left.tfidf_a:>9.4f}"
+            f"{left.difference:>9.4f}   |   "
+            f"{right.term:<16}{right.tfidf_r:>9.4f}{right.tfidf_a:>9.4f}"
+            f"{right.difference:>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_taxonomy_summary(results: AnalysisResults) -> str:
+    """Render the Section 4.2 access-type counts as text."""
+    lines = [f"unique accesses: {results.total_unique_accesses}"]
+    for label in TaxonomyLabel:
+        lines.append(
+            f"  {label.value:<12} {results.label_totals[label]:>5}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Taxonomy classification of unique accesses (Section 4.2).
+
+Four labels, non-exclusive:
+
+* **curious** — logged in, no further observable action;
+* **gold digger** — read or starred mail (value-assessment behaviour);
+* **spammer** — sent email;
+* **hijacker** — changed the password, which the measurement observes as
+  the scraper being locked out of the account.
+
+Script notifications do not carry cookie identifiers, so — like the
+authors — we attribute actions to accesses by time correlation: an action
+notification belongs to the unique access whose observation window is
+nearest to it (windows are padded by the script-scan period, since the
+script reports changes up to one scan after they happen).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import UniqueAccess
+from repro.core.notifications import NotificationKind
+from repro.core.records import ObservedDataset
+from repro.sim.clock import hours
+
+
+class TaxonomyLabel(enum.Enum):
+    """The paper's four access types."""
+
+    CURIOUS = "curious"
+    GOLD_DIGGER = "gold_digger"
+    SPAMMER = "spammer"
+    HIJACKER = "hijacker"
+
+
+@dataclass
+class ClassifiedAccess:
+    """A unique access plus its (possibly multiple) taxonomy labels."""
+
+    access: UniqueAccess
+    labels: set[TaxonomyLabel] = field(default_factory=set)
+    attributed_reads: int = 0
+    attributed_sends: int = 0
+    attributed_drafts: int = 0
+
+    @property
+    def primary_label(self) -> TaxonomyLabel:
+        """One label for exclusive breakdowns (Figure 2 ordering).
+
+        Priority follows the paper's narrative: action labels dominate
+        curious; hijacker < spammer < gold digger in specificity.
+        """
+        for label in (
+            TaxonomyLabel.SPAMMER,
+            TaxonomyLabel.HIJACKER,
+            TaxonomyLabel.GOLD_DIGGER,
+        ):
+            if label in self.labels:
+                return label
+        return TaxonomyLabel.CURIOUS
+
+
+_ACTION_KINDS = {
+    NotificationKind.READ,
+    NotificationKind.STARRED,
+    NotificationKind.SENT,
+    NotificationKind.DRAFT,
+}
+
+
+def classify_accesses(
+    dataset: ObservedDataset,
+    unique_accesses: list[UniqueAccess],
+    *,
+    scan_period: float = hours(2),
+) -> list[ClassifiedAccess]:
+    """Label every unique access by correlating notifications in time."""
+    classified = [ClassifiedAccess(access=a) for a in unique_accesses]
+    by_account: dict[str, list[ClassifiedAccess]] = {}
+    for item in classified:
+        by_account.setdefault(item.access.account_address, []).append(item)
+
+    margin = scan_period * 1.5
+    for notification in dataset.notifications:
+        if notification.kind not in _ACTION_KINDS:
+            continue
+        candidates = by_account.get(notification.account_address)
+        if not candidates:
+            continue
+        best: ClassifiedAccess | None = None
+        best_distance = float("inf")
+        for item in candidates:
+            start = item.access.t0 - margin
+            end = item.access.t_last + margin
+            if start <= notification.timestamp <= end:
+                distance = 0.0
+            else:
+                distance = min(
+                    abs(notification.timestamp - start),
+                    abs(notification.timestamp - end),
+                )
+            if distance < best_distance:
+                best_distance = distance
+                best = item
+        # Actions more than a day away from any observed access belong to
+        # post-lockout activity we cannot attribute (the paper had the
+        # same blind spot after password changes).
+        if best is None or best_distance > hours(24):
+            continue
+        if notification.kind is NotificationKind.SENT:
+            best.labels.add(TaxonomyLabel.SPAMMER)
+            best.attributed_sends += 1
+        elif notification.kind is NotificationKind.DRAFT:
+            best.attributed_drafts += 1
+        else:
+            best.labels.add(TaxonomyLabel.GOLD_DIGGER)
+            best.attributed_reads += 1
+
+    # Hijackers: the scraper lockout reveals the password change; the
+    # access whose window is nearest before the lockout gets the label.
+    for address, lockout_time in dataset.scrape_failures:
+        candidates = by_account.get(address)
+        if not candidates:
+            continue
+        before = [c for c in candidates if c.access.t0 <= lockout_time]
+        pool = before or candidates
+        nearest = min(
+            pool, key=lambda c: abs(lockout_time - c.access.t_last)
+        )
+        nearest.labels.add(TaxonomyLabel.HIJACKER)
+
+    for item in classified:
+        if not item.labels:
+            item.labels.add(TaxonomyLabel.CURIOUS)
+    return classified
+
+
+def label_counts(
+    classified: list[ClassifiedAccess],
+) -> dict[TaxonomyLabel, int]:
+    """How many accesses carry each label (non-exclusive, like §4.2)."""
+    counts = {label: 0 for label in TaxonomyLabel}
+    for item in classified:
+        for label in item.labels:
+            counts[label] += 1
+    return counts
+
+
+def outlet_label_distribution(
+    dataset: ObservedDataset,
+    classified: list[ClassifiedAccess],
+) -> dict[str, dict[TaxonomyLabel, float]]:
+    """Figure 2: per-outlet share of accesses carrying each label."""
+    by_outlet: dict[str, list[ClassifiedAccess]] = {}
+    for item in classified:
+        provenance = dataset.provenance.get(item.access.account_address)
+        if provenance is None:
+            continue
+        by_outlet.setdefault(provenance.group.outlet.value, []).append(item)
+    distribution: dict[str, dict[TaxonomyLabel, float]] = {}
+    for outlet, items in by_outlet.items():
+        total = len(items)
+        distribution[outlet] = {
+            label: (
+                sum(1 for i in items if label in i.labels) / total
+                if total
+                else 0.0
+            )
+            for label in TaxonomyLabel
+        }
+    return distribution

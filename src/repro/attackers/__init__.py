@@ -1,0 +1,37 @@
+"""Attacker behaviour models.
+
+Real attacker traffic is the one ingredient of the paper that cannot be
+obtained offline, so this package substitutes a calibrated agent
+population: every leak event attracts visitors whose sophistication,
+origin choice, anonymisation, device, timing and taxonomy behaviour are
+conditioned on the outlet, matching the aggregate statistics the paper
+reports.  The analysis pipeline never sees these agents — only the
+observable traces they leave on the webmail service.
+"""
+
+from repro.attackers.actions import SENSITIVE_SEARCH_TERMS
+from repro.attackers.agent import AttackerAgent
+from repro.attackers.arrival import sample_arrival_delay
+from repro.attackers.casestudies import (
+    BlackmailCampaign,
+    CardingForumRegistration,
+)
+from repro.attackers.population import AttackerPopulation, PopulationConfig
+from repro.attackers.sophistication import (
+    AttackerProfile,
+    SophisticationLevel,
+    TaxonomyClass,
+)
+
+__all__ = [
+    "AttackerAgent",
+    "AttackerPopulation",
+    "AttackerProfile",
+    "BlackmailCampaign",
+    "CardingForumRegistration",
+    "PopulationConfig",
+    "SENSITIVE_SEARCH_TERMS",
+    "SophisticationLevel",
+    "TaxonomyClass",
+    "sample_arrival_delay",
+]

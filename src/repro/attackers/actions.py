@@ -1,0 +1,162 @@
+"""Concrete attacker actions executed against the webmail service.
+
+Each function performs one taxonomy behaviour through the public service
+API, leaving exactly the traces the monitoring infrastructure can observe:
+reads, stars, drafts, sends, searches and password changes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WebmailError
+from repro.webmail.mailbox import Folder
+from repro.webmail.service import WebmailService
+from repro.webmail.sessions import Session
+
+#: Terms gold-diggers search for (financial and personal value signals).
+#: "transfer" is deliberately present although it is corpus-common: in
+#: Table 2 it tops tfidf_A while its tfidf difference stays ~0, showing
+#: the difference metric isolates *rare* searched terms.
+SENSITIVE_SEARCH_TERMS: tuple[str, ...] = (
+    "payment", "account", "banking", "statement", "invoice",
+    "password", "family", "balance", "routing", "transfer",
+)
+
+#: Addresses spam is blasted to (all sinkholed by the honey config).
+_SPAM_RECIPIENT_DOMAINS = (
+    "victim-mail.example", "corp-mail.example", "freemail.example",
+)
+
+
+def act_check_inbox(
+    service: WebmailService, session: Session, now: float
+) -> None:
+    """The curious baseline: look at the inbox, touch nothing."""
+    service.touch(session, now)
+
+
+def act_gold_dig(
+    service: WebmailService,
+    session: Session,
+    rng: random.Random,
+    now: float,
+    *,
+    max_searches: int = 2,
+    max_reads_per_search: int = 1,
+) -> tuple[list[str], int]:
+    """Search for sensitive terms and read the hits.
+
+    Returns (queries issued, messages read).  Also reads recent drafts
+    and recent unread inbox mail with some probability — this is how the
+    blackmailer's abandoned bitcoin drafts and the provider's quota
+    notifications entered the read-set in the paper.
+    """
+    account = service.account(session.account_address)
+    queries: list[str] = []
+    read_count = 0
+    n_searches = rng.randint(1, max_searches)
+    terms = rng.sample(
+        SENSITIVE_SEARCH_TERMS, k=min(n_searches, len(SENSITIVE_SEARCH_TERMS))
+    )
+    for term in terms:
+        queries.append(term)
+        results = service.search(session, term, now)
+        for message in results[: rng.randint(1, max_reads_per_search)]:
+            if not message.flags.read:
+                service.read_message(session, message.message_id, now)
+                read_count += 1
+    # Peek at drafts: abandoned drafts are visible and interesting —
+    # this is how the blackmailer's bitcoin tutorials entered the
+    # read-set in the paper.
+    drafts = account.mailbox.messages(Folder.DRAFTS)
+    for draft in drafts:
+        if rng.random() < 0.7 and not draft.flags.read:
+            service.read_message(session, draft.message_id, now)
+            read_count += 1
+    # Peek at the newest unread inbox mail (provider notifications land
+    # here).
+    inbox = account.mailbox.messages(Folder.INBOX)
+    unread = [m for m in inbox if not m.flags.read]
+    if unread and rng.random() < 0.35:
+        service.read_message(session, unread[-1].message_id, now)
+        read_count += 1
+    # Occasionally star something valuable-looking.
+    if queries and rng.random() < 0.15:
+        results = service.search(session, queries[0], now)
+        if results:
+            service.star_message(session, results[0].message_id, now)
+    service.abuse.observe_search_burst(account, now)
+    return queries, read_count
+
+
+def act_send_spam(
+    service: WebmailService,
+    session: Session,
+    rng: random.Random,
+    now: float,
+    *,
+    email_count: int,
+    burst_seconds: float,
+) -> int:
+    """Blast a spam run; returns emails actually accepted before any block.
+
+    Sends are spread across the burst window; anti-abuse may suspend the
+    account mid-burst, at which point remaining sends fail.
+    """
+    subjects = (
+        "amazing offer inside", "your parcel is waiting",
+        "limited invitation", "confirm your bonus today",
+    )
+    sent = 0
+    for i in range(email_count):
+        at_time = now + burst_seconds * (i / max(email_count, 1))
+        recipient = (
+            f"user{rng.randrange(1, 10_000_000)}@"
+            f"{rng.choice(_SPAM_RECIPIENT_DOMAINS)}"
+        )
+        try:
+            service.send_email(
+                session,
+                rng.choice(subjects),
+                "Click the link for your reward. Unsubscribe anytime.",
+                (recipient,),
+                at_time,
+            )
+        except WebmailError:
+            break
+        sent += 1
+    return sent
+
+
+def act_hijack(
+    service: WebmailService,
+    session: Session,
+    rng: random.Random,
+    now: float,
+) -> str:
+    """Change the account password, locking out the owner (and scraper)."""
+    new_password = "hx" + "".join(
+        rng.choice("abcdefghijkmnpqrstuvwxyz0123456789") for _ in range(10)
+    )
+    service.change_password(session, new_password, now)
+    return new_password
+
+
+def act_read_recent(
+    service: WebmailService,
+    session: Session,
+    rng: random.Random,
+    now: float,
+    *,
+    max_reads: int = 2,
+) -> int:
+    """Read a couple of recent inbox messages (light snooping)."""
+    account = service.account(session.account_address)
+    inbox = account.mailbox.messages(Folder.INBOX)
+    read_count = 0
+    for message in inbox[-rng.randint(1, max_reads):]:
+        if not message.flags.read:
+            service.read_message(session, message.message_id, now)
+            read_count += 1
+    return read_count

@@ -1,0 +1,213 @@
+"""The attacker agent: schedules visits and executes behaviour.
+
+One :class:`AttackerAgent` owns one :class:`AttackerProfile` and one
+target account.  It schedules its visits on the simulator; each visit
+logs in through the public service API (leaving an activity-page row),
+performs class-appropriate actions, and — for visits longer than a few
+minutes — re-authenticates near the end, which is what makes access
+durations observable on the activity page, as cookies are observed at
+each login.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attackers import actions
+from repro.attackers.sophistication import AttackerProfile, TaxonomyClass
+from repro.errors import ConfigurationError, WebmailError
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.netsim.cities import city_by_name
+from repro.netsim.geo import GeoDatabase
+from repro.netsim.ipaddr import IPAddress
+from repro.netsim.useragents import UserAgentFactory
+from repro.sim.clock import minutes
+from repro.sim.engine import Simulator
+from repro.webmail.service import LoginContext, WebmailService
+from repro.webmail.sessions import Session
+
+
+@dataclass
+class AgentOutcome:
+    """Ground-truth trace of what this agent actually did (tests only)."""
+
+    logins_attempted: int = 0
+    logins_succeeded: int = 0
+    emails_read: int = 0
+    emails_sent: int = 0
+    drafts_created: int = 0
+    searches: list[str] = field(default_factory=list)
+    hijacked: bool = False
+    new_password: str | None = None
+
+
+class AttackerAgent:
+    """Executes one profile's visits against one honey account."""
+
+    def __init__(
+        self,
+        profile: AttackerProfile,
+        account_address: str,
+        leaked_password: str,
+        *,
+        sim: Simulator,
+        service: WebmailService,
+        geo: GeoDatabase,
+        anonymity: AnonymityNetwork,
+        ua_factory: UserAgentFactory,
+        rng: random.Random,
+        blacklist_registrar=None,
+        advertised_midpoint: tuple[float, float] | None = None,
+    ) -> None:
+        self.profile = profile
+        self.account_address = account_address
+        self._password = leaked_password
+        self._sim = sim
+        self._service = service
+        self._geo = geo
+        self._anonymity = anonymity
+        self._rng = rng
+        self._blacklist_registrar = blacklist_registrar
+        self._advertised_midpoint = advertised_midpoint
+        self.outcome = AgentOutcome()
+        self._device_id = f"dev-{profile.attacker_id}"
+        self._user_agent = self._pick_user_agent(ua_factory)
+        self._source_ip: IPAddress | None = None
+
+    # ------------------------------------------------------------------
+    # connection identity
+    # ------------------------------------------------------------------
+    def _pick_user_agent(self, factory: UserAgentFactory) -> str:
+        if self.profile.hide_user_agent:
+            return factory.empty()
+        if self.profile.android_device:
+            return factory.android()
+        return factory.desktop()
+
+    def _resolve_source_ip(self) -> IPAddress:
+        """The agent's stable source address (per-device, reused)."""
+        if self._source_ip is not None:
+            return self._source_ip
+        if self.profile.origin is not OriginKind.DIRECT:
+            node = self._anonymity.pick(self.profile.origin)
+            self._source_ip = node.address
+            return self._source_ip
+        if self.profile.origin_city is None:
+            raise ConfigurationError(
+                "direct connections need an origin city"
+            )
+        city = city_by_name(self.profile.origin_city)
+        self._source_ip = self._geo.allocate_in_city(city)
+        if self.profile.infected_host and self._blacklist_registrar:
+            self._blacklist_registrar(self._source_ip)
+        return self._source_ip
+
+    def _login(self, now: float) -> Session | None:
+        self.outcome.logins_attempted += 1
+        context = LoginContext(
+            device_id=self._device_id,
+            ip_address=self._resolve_source_ip(),
+            user_agent=self._user_agent,
+        )
+        try:
+            session = self._service.login(
+                self.account_address, self._password, context, now
+            )
+        except WebmailError:
+            return None  # hijacked by someone else, or suspended
+        self.outcome.logins_succeeded += 1
+        account = self._service.account(self.account_address)
+        self._service.abuse.observe_login_signal(
+            account,
+            blacklisted_ip=self.profile.infected_host,
+            anonymised=self.profile.anonymised,
+            now=now,
+        )
+        return session
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, first_visit_time: float, gaps: list[float]) -> None:
+        """Schedule all visits on the simulator."""
+        visit_time = first_visit_time
+        self._schedule_visit(visit_time, is_first=True)
+        for gap in gaps:
+            visit_time += gap
+            self._schedule_visit(visit_time, is_first=False)
+
+    def _schedule_visit(self, at_time: float, *, is_first: bool) -> None:
+        if at_time <= self._sim.now:
+            at_time = self._sim.now + 1.0
+        self._sim.schedule_at(
+            at_time,
+            lambda: self._visit(is_first=is_first),
+            label=f"visit:{self.profile.attacker_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # one visit
+    # ------------------------------------------------------------------
+    def _visit(self, *, is_first: bool) -> None:
+        now = self._sim.now
+        session = self._login(now)
+        if session is None:
+            return
+        profile = self.profile
+        visit_length = minutes(self._rng.uniform(1.0, 35.0))
+        if profile.is_curious_only:
+            actions.act_check_inbox(self._service, session, now)
+        else:
+            self._act(session, now, is_first=is_first)
+        # Long visits re-authenticate near the end; the activity page then
+        # shows the same cookie again, making the duration measurable.
+        if visit_length > minutes(5):
+            end_time = now + visit_length
+            self._sim.schedule_at(
+                end_time,
+                lambda: self._relogin(end_time),
+                label=f"relogin:{profile.attacker_id}",
+            )
+
+    def _relogin(self, at_time: float) -> None:
+        self._login(at_time)
+
+    def _act(self, session: Session, now: float, *, is_first: bool) -> None:
+        profile = self.profile
+        rng = self._rng
+        try:
+            if profile.has(TaxonomyClass.GOLD_DIGGER):
+                queries, reads = actions.act_gold_dig(
+                    self._service, session, rng, now
+                )
+                self.outcome.searches.extend(queries)
+                self.outcome.emails_read += reads
+            if profile.has(TaxonomyClass.HIJACKER) and is_first:
+                if rng.random() < 0.5:
+                    self.outcome.emails_read += actions.act_read_recent(
+                        self._service, session, rng, now
+                    )
+                new_password = actions.act_hijack(
+                    self._service, session, rng, now
+                )
+                # The hijacker knows the new password; later visits work.
+                self._password = new_password
+                self.outcome.hijacked = True
+                self.outcome.new_password = new_password
+            if profile.has(TaxonomyClass.SPAMMER) and is_first:
+                # Bursts stay under the provider's per-hour threshold most
+                # of the time; greedier runs risk mid-burst suspension.
+                count = rng.randint(60, 110)
+                burst = minutes(rng.uniform(120, 240))
+                self.outcome.emails_sent += actions.act_send_spam(
+                    self._service,
+                    session,
+                    rng,
+                    now,
+                    email_count=count,
+                    burst_seconds=burst,
+                )
+        except WebmailError:
+            # The account was suspended mid-visit; the session died.
+            return

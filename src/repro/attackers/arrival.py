@@ -1,0 +1,88 @@
+"""Arrival processes: when attackers first try leaked credentials.
+
+Figure 3 of the paper gives the shape: within 25 days of the leak, ~80%
+of paste-site accesses, ~60% of forum accesses and ~40% of malware-outlet
+accesses have occurred; Russian paste sites stay silent for over two
+months; malware-outlet accesses show bursts ~30 and ~100 days after the
+leak (aggregation/resale).  Delays are sampled from per-venue lognormals
+plus outlet-specific structure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import days
+
+
+def lognormal_from_median(
+    rng: random.Random, median_days: float, sigma: float
+) -> float:
+    """A lognormal delay (days) with the given median and log-space sigma."""
+    if median_days <= 0:
+        raise ConfigurationError("median_days must be positive")
+    mu = math.log(median_days)
+    return rng.lognormvariate(mu, sigma)
+
+
+def sample_arrival_delay(
+    rng: random.Random,
+    *,
+    median_days: float,
+    sigma: float = 1.25,
+    dormancy_days: float = 0.0,
+    horizon_days: float = 236.0,
+) -> float:
+    """Sample a leak-to-first-visit delay in sim-seconds.
+
+    ``dormancy_days`` shifts the entire distribution right (the Russian
+    paste-site effect).  Values beyond the measurement horizon are
+    resampled once, then clamped, so every generated visitor lands inside
+    the experiment window (visitors beyond it would simply be unobserved).
+    """
+    delay_days = dormancy_days + lognormal_from_median(rng, median_days, sigma)
+    if delay_days > horizon_days:
+        delay_days = dormancy_days + lognormal_from_median(
+            rng, median_days, sigma
+        )
+    delay_days = min(delay_days, horizon_days - 0.25)
+    return days(delay_days)
+
+
+def sample_burst_arrival(
+    rng: random.Random,
+    *,
+    burst_center_days: float,
+    spread_days: float = 4.0,
+    horizon_days: float = 236.0,
+) -> float:
+    """An arrival clustered around a burst moment (malware resale events).
+
+    The burst centre is where Figure 3's malware CDF shows its sharp
+    inflection points (~30 and ~100 days after the leak).
+    """
+    if burst_center_days <= 0 or spread_days <= 0:
+        raise ConfigurationError("burst parameters must be positive")
+    delay_days = rng.gauss(burst_center_days, spread_days)
+    delay_days = max(1.0, min(delay_days, horizon_days - 0.25))
+    return days(delay_days)
+
+
+def sample_return_gaps(
+    rng: random.Random, visits: int, span_days: float
+) -> list[float]:
+    """Gaps (sim-seconds) between consecutive visits of a returning actor.
+
+    The first visit is at the arrival time; ``visits - 1`` return gaps are
+    spread over roughly ``span_days`` with exponential spacing, giving the
+    multi-day tails Figure 1 shows for hijacker/gold-digger accesses.
+    """
+    if visits <= 1:
+        return []
+    mean_gap = max(span_days / (visits - 1), 0.05)
+    return [
+        days(max(rng.expovariate(1.0 / mean_gap), 0.02))
+        for _ in range(visits - 1)
+    ]

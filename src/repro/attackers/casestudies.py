@@ -1,0 +1,251 @@
+"""Scripted case studies from Section 4.7 of the paper.
+
+Three incidents the paper documents are reproduced as deterministic
+scripted agents, because they materially shape the measured results:
+
+* the **Ashley Madison blackmailer** used three honey accounts to send
+  bitcoin-ransom blackmail and abandoned many drafts; later visitors read
+  those drafts, which is how the bitcoin vocabulary entered the read-set
+  and hence Table 2;
+* the **quota notifications** ("using too much computer time") that two
+  accounts received from the provider and that an attacker later read;
+* the **carding-forum registration** that used a honey address as the
+  registration email, delivering a confirmation message into the inbox.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WebmailError
+from repro.netsim.cities import cities_in_region
+from repro.netsim.geo import GeoDatabase
+from repro.sim.clock import days, minutes
+from repro.sim.engine import Simulator
+from repro.webmail.message import EmailMessage
+from repro.webmail.service import LoginContext, WebmailService
+
+#: The blackmail note. Deliberately rich in the vocabulary Table 2
+#: surfaces: bitcoin/bitcoins/localbitcoins, payment, account, seller,
+#: results, listed, below, family.
+BLACKMAIL_BODY = (
+    "We found your profile in the Ashley Madison results. Your name and "
+    "details are listed below, together with proof from the leaked "
+    "database results.\n"
+    "Unless you complete a payment of 2 bitcoin to the bitcoin wallet "
+    "listed below, everything will be shared with your family and your "
+    "employer. Think what the bitcoin payment costs against what your "
+    "family would suffer.\n"
+    "How to pay with bitcoin: open an account on localbitcoins, search "
+    "the localbitcoins seller results, pick a trusted seller, buy "
+    "bitcoins, and transfer the bitcoins to the wallet address below. "
+    "Payment instructions and the bitcoin wallet are listed below.\n"
+    "wallet: 1FakeWa11etAddre55ForSimulation\n"
+    "You have three days. Think about your family before you ignore "
+    "this message."
+)
+
+BLACKMAIL_TUTORIAL_DRAFT = (
+    "draft - bitcoin payment tutorial for the family letters\n"
+    "Step 1: register an account on localbitcoins and verify it.\n"
+    "Step 2: search the localbitcoins seller results and pick a seller "
+    "with good feedback listed below the search results.\n"
+    "Step 3: buy bitcoins from the seller with cash deposit or bank "
+    "payment; localbitcoins holds the bitcoins in escrow.\n"
+    "Step 4: send the bitcoins to the bitcoin wallet listed in the "
+    "message below.\n"
+    "Keep this bitcoin tutorial for the next batch of family letters."
+)
+
+QUOTA_NOTICE_SUBJECT = "Notice: Apps Script using too much computer time"
+QUOTA_NOTICE_BODY = (
+    "A script attached to this account has been using too much computer "
+    "time and exceeded its daily quota. Review your attached scripts and "
+    "triggers to restore normal operation."
+)
+
+
+@dataclass
+class BlackmailCampaign:
+    """The Ashley Madison blackmailer, replayed on three honey accounts.
+
+    Args:
+        sim: simulation engine.
+        service: the webmail provider.
+        geo: used to allocate the blackmailer's source IP.
+        rng: dedicated randomness stream.
+        start_day: day (after epoch) the campaign begins.
+    """
+
+    sim: Simulator
+    service: WebmailService
+    geo: GeoDatabase
+    rng: random.Random
+    start_day: float = 20.0
+    victims_per_account: int = 18
+    drafts_per_account: int = 4
+    accounts_wanted: int = 3
+    follow_up_readers: int = 2
+    sent_messages: int = 0
+    drafts_created: int = 0
+    follow_up_reads: int = 0
+    accounts_used: list[str] = field(default_factory=list)
+    _targets: list[tuple[str, str]] = field(default_factory=list)
+
+    def target(self, account_address: str, password: str) -> None:
+        """Add a candidate account (the blackmailer tries them in order
+        until three work — the paper observed three accounts used)."""
+        self._targets.append((account_address, password))
+
+    def schedule(self) -> None:
+        """Schedule the campaign visits."""
+        for index, (address, password) in enumerate(self._targets):
+            at_time = days(self.start_day + index * 1.5)
+            self.sim.schedule_at(
+                at_time,
+                lambda a=address, p=password: self._run_on_account(a, p),
+                label=f"blackmail:{address}",
+            )
+
+    def _run_on_account(self, address: str, password: str) -> None:
+        if len(self.accounts_used) >= self.accounts_wanted:
+            return
+        now = self.sim.now
+        city = self.rng.choice(list(cities_in_region("europe")))
+        context = LoginContext(
+            device_id="blackmailer-rig",
+            ip_address=self.geo.allocate_in_city(city),
+            user_agent=(
+                "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 "
+                "(KHTML, like Gecko) Chrome/44.0.2403 Safari/537.36"
+            ),
+        )
+        try:
+            session = self.service.login(address, password, context, now)
+        except WebmailError:
+            return
+        self.accounts_used.append(address)
+        try:
+            for i in range(self.drafts_per_account):
+                body = (
+                    BLACKMAIL_TUTORIAL_DRAFT
+                    if i == 0
+                    else BLACKMAIL_BODY
+                )
+                self.service.create_draft(
+                    session,
+                    subject=f"payment required {i + 1}",
+                    body=body,
+                    recipients=(f"victim{i}@am-victims.example",),
+                    now=now + minutes(2 + i),
+                )
+                self.drafts_created += 1
+            for i in range(self.victims_per_account):
+                self.service.send_email(
+                    session,
+                    subject="we know about your account",
+                    body=BLACKMAIL_BODY,
+                    recipients=(
+                        f"victim{self.rng.randrange(10_000)}@am-victims.example",
+                    ),
+                    now=now + minutes(10) + i * 30.0,
+                )
+                self.sent_messages += 1
+        except WebmailError:
+            return  # account suspended mid-campaign
+        # "Other cybercriminals read them during later accesses": the same
+        # paste leads more visitors to the account; some of them find and
+        # read the abandoned drafts.
+        for reader_index in range(self.follow_up_readers):
+            delay = days(self.rng.uniform(8.0, 30.0))
+            self.sim.schedule_at(
+                now + delay,
+                lambda a=address, p=password, i=reader_index: (
+                    self._follow_up_read(a, p, i)
+                ),
+                label=f"blackmail-reader:{address}",
+            )
+
+    def _follow_up_read(
+        self, address: str, password: str, reader_index: int
+    ) -> None:
+        """A later criminal reads the abandoned drafts."""
+        now = self.sim.now
+        city = self.rng.choice(list(cities_in_region("europe")))
+        context = LoginContext(
+            device_id=f"draft-reader-{reader_index}-{address}",
+            ip_address=self.geo.allocate_in_city(city),
+            user_agent=(
+                "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 "
+                "(KHTML, like Gecko) Chrome/45.0.2454 Safari/537.36"
+            ),
+        )
+        try:
+            session = self.service.login(address, password, context, now)
+        except WebmailError:
+            return
+        try:
+            from repro.webmail.mailbox import Folder
+
+            account = self.service.account(address)
+            for draft in account.mailbox.messages(Folder.DRAFTS):
+                self.service.read_message(session, draft.message_id, now)
+                self.follow_up_reads += 1
+        except WebmailError:
+            return
+
+
+@dataclass
+class CardingForumRegistration:
+    """An attacker registers on a carding forum with a honey address.
+
+    The registration confirmation is inbound mail *to* the honey account,
+    showing the account used as a stepping stone for further crime.
+    """
+
+    sim: Simulator
+    service: WebmailService
+    forum_name: str = "verified-carder.example"
+    registration_done: bool = False
+
+    def schedule(self, account_address: str, at_day: float = 70.0) -> None:
+        self.sim.schedule_at(
+            days(at_day),
+            lambda: self._deliver_confirmation(account_address),
+            label=f"carding-reg:{account_address}",
+        )
+
+    def _deliver_confirmation(self, account_address: str) -> None:
+        now = self.sim.now
+        message = EmailMessage(
+            sender_name=f"{self.forum_name} staff",
+            sender_address=f"no-reply@{self.forum_name}",
+            recipient_addresses=(account_address,),
+            subject=f"Welcome to {self.forum_name} - confirm registration",
+            body=(
+                "Your registration is nearly complete. Confirm your "
+                "account using the token listed below to access the "
+                "market boards.\n"
+                "token: 9f2c-sim-token\n"
+            ),
+            received_at=now,
+        )
+        self.registration_done = self.service.deliver_inbound(
+            account_address, message
+        )
+
+
+def deliver_quota_notice(
+    service: WebmailService, account_address: str, now: float
+) -> bool:
+    """Deliver the provider's quota-warning email into a honey inbox."""
+    message = EmailMessage(
+        sender_name="Apps Script notifications",
+        sender_address="apps-script-noreply@provider.example",
+        recipient_addresses=(account_address,),
+        subject=QUOTA_NOTICE_SUBJECT,
+        body=QUOTA_NOTICE_BODY,
+        received_at=now,
+    )
+    return service.deliver_inbound(account_address, message)

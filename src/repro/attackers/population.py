@@ -1,0 +1,500 @@
+"""Attacker population generation: one agent per interested visitor.
+
+Consumes the leak ledger and produces :class:`AttackerAgent` schedules.
+All calibration constants live in :class:`PopulationConfig` and the
+module-level mix tables; their default values target the paper's
+aggregate statistics (327 unique accesses, taxonomy split, outlet timing,
+anonymisation shares, Figure 5 medians).  Every draw comes from a derived
+RNG stream, so populations are fully reproducible.
+
+Origin mixes are expressed as weighted entries of either a single hub
+city (``"city:Name"``) or a uniform draw over a region bucket
+(``"region:name"``).  Hub concentration keeps the number of distinct
+source countries near the 29 the paper observed while pinning the
+distance medians of Figure 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.attackers.agent import AttackerAgent
+from repro.attackers.arrival import (
+    lognormal_from_median,
+    sample_arrival_delay,
+    sample_burst_arrival,
+    sample_return_gaps,
+)
+from repro.attackers.sophistication import (
+    AttackerProfile,
+    SophisticationLevel,
+    TaxonomyClass,
+)
+from repro.core.groups import LocationHint, OutletKind
+from repro.errors import ConfigurationError
+from repro.leaks.forums import FORUM_PROFILES, _poisson
+from repro.leaks.outlet import LeakEvent
+from repro.leaks.pastesites import SITE_PROFILES
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.netsim.cities import cities_in_region
+from repro.netsim.geo import GeoDatabase
+from repro.netsim.useragents import UserAgentFactory
+from repro.sim.clock import days
+from repro.sim.engine import Simulator
+from repro.webmail.service import WebmailService
+
+_CURIOUS = frozenset({TaxonomyClass.CURIOUS})
+_GOLD = frozenset({TaxonomyClass.GOLD_DIGGER})
+_HIJACK = frozenset({TaxonomyClass.HIJACKER})
+_GOLD_HIJACK = frozenset({TaxonomyClass.GOLD_DIGGER, TaxonomyClass.HIJACKER})
+_HIJACK_SPAM = frozenset({TaxonomyClass.HIJACKER, TaxonomyClass.SPAMMER})
+_GOLD_SPAM = frozenset({TaxonomyClass.GOLD_DIGGER, TaxonomyClass.SPAMMER})
+
+#: Class-set mixes per outlet, calibrated to Figure 2 and Section 4.2:
+#: paste ~20% hijackers; forums the highest gold-digger share (~30%);
+#: malware never hijacks or spams (bursts add its gold diggers).
+_CLASS_MIX: dict[OutletKind, tuple[tuple[frozenset, float], ...]] = {
+    OutletKind.PASTE: (
+        (_CURIOUS, 0.690),
+        (_GOLD, 0.150),
+        (_HIJACK, 0.070),
+        (_GOLD_HIJACK, 0.040),
+        (_HIJACK_SPAM, 0.025),
+        (_GOLD_SPAM, 0.025),
+    ),
+    OutletKind.FORUM: (
+        (_CURIOUS, 0.640),
+        (_GOLD, 0.260),
+        (_GOLD_HIJACK, 0.040),
+        (_HIJACK, 0.050),
+        (_HIJACK_SPAM, 0.010),
+    ),
+    OutletKind.MALWARE: (
+        (_CURIOUS, 1.0),
+    ),
+}
+
+#: Mix entries: ("city:<Name>", weight) draws that hub city;
+#: ("region:<bucket>", weight) draws uniformly inside the bucket.
+OriginMix = tuple[tuple[str, float], ...]
+
+#: Background population of paste-site scrapers: Europe/CIS-heavy with a
+#: global tail.  UK-map median lands near the paper's 1784 km no-location
+#: radius; US-map median near 7900 km.
+_PASTE_BACKGROUND: OriginMix = (
+    ("region:uk", 0.08),
+    ("city:Paris", 0.06), ("city:Amsterdam", 0.06), ("city:Berlin", 0.06),
+    ("city:Warsaw", 0.06), ("city:Madrid", 0.05), ("city:Bucharest", 0.06),
+    ("city:Sofia", 0.04), ("city:Moscow", 0.06), ("city:Kyiv", 0.05),
+    ("city:Minsk", 0.03), ("city:New York", 0.05),
+    ("city:Los Angeles", 0.03), ("city:Toronto", 0.03),
+    ("city:Sao Paulo", 0.04), ("city:Lagos", 0.04), ("city:Cairo", 0.04),
+    ("city:Istanbul", 0.04), ("city:Hanoi", 0.03), ("city:Jakarta", 0.03),
+    ("city:Johannesburg", 0.02), ("city:Stockholm", 0.02),
+    ("city:Buenos Aires", 0.02),
+)
+
+#: Background population of forum browsers: globally spread (the largest
+#: circles of Figure 5).
+_FORUM_BACKGROUND: OriginMix = (
+    ("region:uk", 0.03), ("city:Paris", 0.04), ("city:Bucharest", 0.06),
+    ("city:Moscow", 0.08), ("city:Kyiv", 0.06), ("city:Hanoi", 0.07),
+    ("city:Jakarta", 0.07), ("city:Manila", 0.05), ("city:Karachi", 0.05),
+    ("city:Mumbai", 0.06), ("city:Lagos", 0.08), ("city:Abuja", 0.04),
+    ("city:Cairo", 0.05), ("city:Casablanca", 0.04),
+    ("city:Sao Paulo", 0.06), ("city:Bogota", 0.04),
+    ("city:Mexico City", 0.04), ("city:New York", 0.04),
+    ("city:Berlin", 0.04),
+)
+
+#: Location-malleable attackers told the owner lives near London: connect
+#: from the UK or nearby Europe, never farther — a tight distribution
+#: whose shape differs sharply from the diffuse background (that contrast
+#: is what makes the paste-site Cramér-von Mises test significant).
+#: Median ~1400 km.
+_MALLEABLE_UK: OriginMix = (
+    ("region:uk", 0.20),
+    ("city:Madrid", 0.20), ("city:Rome", 0.30), ("city:Warsaw", 0.30),
+)
+
+#: Location-malleable attackers told the owner lives in the US Midwest:
+#: connect from inside the US/Canada.  Median ~940 km from Pontiac, IL.
+_MALLEABLE_US: OriginMix = (
+    ("region:us_midwest", 0.45),
+    ("city:Toronto", 0.07), ("city:Washington", 0.07),
+    ("city:New York", 0.14), ("city:Dallas", 0.08), ("city:Boston", 0.07),
+    ("city:Denver", 0.06), ("city:Miami", 0.06),
+)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Calibration constants for the attacker population.
+
+    Rates live in the venue profiles (:mod:`repro.leaks`); this object
+    holds the behavioural probabilities.  See DESIGN.md section 5 for the
+    calibration targets.
+    """
+
+    horizon_days: float = 236.0
+    # anonymisation probabilities for non-malleable visitors
+    paste_anonymise_prob: float = 0.38
+    forum_anonymise_prob: float = 0.32
+    proxy_share_of_anonymised: float = 0.35
+    # location malleability (connect near the advertised decoy location)
+    paste_malleable_prob: float = 0.60
+    forum_malleable_prob: float = 0.15
+    # device mix
+    android_prob: float = 0.15
+    # infected-host share of direct connections (Spamhaus hits)
+    infected_host_prob: float = 0.12
+    # return-visit behaviour
+    paste_return_prob: float = 0.20
+    malware_return_prob: float = 0.80
+    max_return_visits: int = 5
+    # arrival shape
+    paste_sigma: float = 1.50
+    forum_sigma: float = 1.50
+    forum_median_days: float = 30.0
+    # hijackers assess before locking owners out, so their arrivals lag
+    # the curious crowd (median extra days)
+    hijacker_extra_delay_median_days: float = 12.0
+    # malware structure: a fast-validation component plus a slow tail,
+    # with aggregation/resale gold-digger bursts
+    malware_fast_share: float = 0.45
+    malware_fast_median_days: float = 6.0
+    malware_slow_median_days: float = 60.0
+    malware_checks_extra_mean: float = 1.2
+    malware_burst1_day: float = 30.0
+    malware_burst1_prob: float = 0.40
+    malware_burst2_day: float = 100.0
+    malware_burst2_prob: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in (
+            "paste_anonymise_prob", "forum_anonymise_prob",
+            "proxy_share_of_anonymised", "paste_malleable_prob",
+            "forum_malleable_prob", "android_prob", "infected_host_prob",
+            "paste_return_prob", "malware_return_prob",
+            "malware_fast_share", "malware_burst1_prob",
+            "malware_burst2_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability")
+
+
+@dataclass
+class AttackerPopulation:
+    """Builds and schedules every attacker agent for a set of leaks."""
+
+    sim: Simulator
+    service: WebmailService
+    geo: GeoDatabase
+    anonymity: AnonymityNetwork
+    rng: random.Random
+    config: PopulationConfig = field(default_factory=PopulationConfig)
+    blacklist_registrar: Callable | None = None
+    agents: list[AttackerAgent] = field(default_factory=list)
+    _agent_counter: int = 0
+
+    def __post_init__(self) -> None:
+        self._ua_factory = UserAgentFactory(self.rng)
+        self._malware_direct_used = False
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def spawn_for_leak(
+        self, event: LeakEvent, leaked_password: str
+    ) -> list[AttackerAgent]:
+        """Generate and schedule all visitors drawn by one leak event."""
+        if event.outlet is OutletKind.PASTE:
+            return self._spawn_paste(event, leaked_password)
+        if event.outlet is OutletKind.FORUM:
+            return self._spawn_forum(event, leaked_password)
+        return self._spawn_malware(event, leaked_password)
+
+    # ------------------------------------------------------------------
+    # origin sampling
+    # ------------------------------------------------------------------
+    def _sample_origin_city(self, mix: OriginMix) -> str:
+        entries = [entry for entry, _ in mix]
+        weights = [weight for _, weight in mix]
+        chosen = self.rng.choices(entries, weights=weights, k=1)[0]
+        kind, _, value = chosen.partition(":")
+        if kind == "city":
+            return value
+        if kind == "region":
+            return self.rng.choice(list(cities_in_region(value))).name
+        raise ConfigurationError(f"bad origin mix entry {chosen!r}")
+
+    # ------------------------------------------------------------------
+    # paste sites
+    # ------------------------------------------------------------------
+    def _spawn_paste(
+        self, event: LeakEvent, password: str
+    ) -> list[AttackerAgent]:
+        profile = SITE_PROFILES[event.venue]
+        count = _poisson(self.rng, profile.audience_rate)
+        agents = []
+        for _ in range(count):
+            arrival = event.leak_time + sample_arrival_delay(
+                self.rng,
+                median_days=profile.propagation_median_days,
+                sigma=self.config.paste_sigma,
+                dormancy_days=profile.dormancy_days,
+                horizon_days=self.config.horizon_days,
+            )
+            agents.append(
+                self._build_agent(
+                    event,
+                    password,
+                    outlet=OutletKind.PASTE,
+                    classes=self._draw_classes(OutletKind.PASTE),
+                    arrival=arrival,
+                    malleable_prob=self.config.paste_malleable_prob,
+                    anonymise_prob=self.config.paste_anonymise_prob,
+                    background=_PASTE_BACKGROUND,
+                    level=SophisticationLevel.MEDIUM,
+                )
+            )
+        return agents
+
+    # ------------------------------------------------------------------
+    # forums
+    # ------------------------------------------------------------------
+    def _spawn_forum(
+        self, event: LeakEvent, password: str
+    ) -> list[AttackerAgent]:
+        base = FORUM_PROFILES[event.venue]
+        count = _poisson(self.rng, base.audience_rate)
+        agents = []
+        for _ in range(count):
+            arrival = event.leak_time + sample_arrival_delay(
+                self.rng,
+                median_days=self.config.forum_median_days,
+                sigma=self.config.forum_sigma,
+                horizon_days=self.config.horizon_days,
+            )
+            agents.append(
+                self._build_agent(
+                    event,
+                    password,
+                    outlet=OutletKind.FORUM,
+                    classes=self._draw_classes(OutletKind.FORUM),
+                    arrival=arrival,
+                    malleable_prob=self.config.forum_malleable_prob,
+                    anonymise_prob=self.config.forum_anonymise_prob,
+                    background=_FORUM_BACKGROUND,
+                    level=SophisticationLevel.LOW,
+                )
+            )
+        return agents
+
+    # ------------------------------------------------------------------
+    # malware
+    # ------------------------------------------------------------------
+    def _sample_malware_check_delay(self) -> float:
+        """Botmaster validation delay: fast component plus slow tail."""
+        cfg = self.config
+        if self.rng.random() < cfg.malware_fast_share:
+            delay_days = lognormal_from_median(
+                self.rng, cfg.malware_fast_median_days, 0.8
+            )
+        else:
+            delay_days = lognormal_from_median(
+                self.rng, cfg.malware_slow_median_days, 0.7
+            )
+        return days(min(delay_days, cfg.horizon_days - 0.25))
+
+    def _spawn_malware(
+        self, event: LeakEvent, password: str
+    ) -> list[AttackerAgent]:
+        """Botmaster checks plus aggregation/resale gold-digger bursts."""
+        cfg = self.config
+        agents = []
+        checks = 1 + _poisson(self.rng, cfg.malware_checks_extra_mean)
+        for _ in range(checks):
+            arrival = event.leak_time + self._sample_malware_check_delay()
+            agents.append(
+                self._build_malware_agent(event, password, _CURIOUS, arrival)
+            )
+        for burst_day, prob in (
+            (cfg.malware_burst1_day, cfg.malware_burst1_prob),
+            (cfg.malware_burst2_day, cfg.malware_burst2_prob),
+        ):
+            if self.rng.random() < prob:
+                arrival = event.leak_time + sample_burst_arrival(
+                    self.rng,
+                    burst_center_days=burst_day,
+                    horizon_days=cfg.horizon_days,
+                )
+                agents.append(
+                    self._build_malware_agent(event, password, _GOLD, arrival)
+                )
+        return agents
+
+    def _build_malware_agent(
+        self,
+        event: LeakEvent,
+        password: str,
+        classes: frozenset,
+        arrival: float,
+    ) -> AttackerAgent:
+        # All malware-outlet accesses but one arrive via Tor with an empty
+        # user agent (Section 4.5: 57 accesses, all Tor except one).
+        direct = not self._malware_direct_used and self.rng.random() < 0.02
+        if direct:
+            self._malware_direct_used = True
+        origin = OriginKind.DIRECT if direct else OriginKind.TOR
+        visits, span = self._draw_visits(OutletKind.MALWARE, classes)
+        profile = AttackerProfile(
+            attacker_id=self._next_id(),
+            outlet=OutletKind.MALWARE,
+            classes=classes,
+            level=SophisticationLevel.HIGH,
+            origin=origin,
+            origin_city="Bucharest" if direct else None,
+            hide_user_agent=True,
+            location_malleable=False,
+            android_device=False,
+            infected_host=False,
+            visits=visits,
+            visit_span_days=span,
+        )
+        return self._schedule_agent(profile, event, password, arrival)
+
+    # ------------------------------------------------------------------
+    # shared construction helpers
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        self._agent_counter += 1
+        return f"atk-{self._agent_counter:05d}"
+
+    def _draw_classes(self, outlet: OutletKind) -> frozenset:
+        mixes = _CLASS_MIX[outlet]
+        roll = self.rng.random()
+        cumulative = 0.0
+        for classes, weight in mixes:
+            cumulative += weight
+            if roll < cumulative:
+                return classes
+        return mixes[-1][0]
+
+    def _draw_visits(
+        self, outlet: OutletKind, classes: frozenset
+    ) -> tuple[int, float]:
+        """(number of visits, span in days) — drives Figure 1 durations."""
+        cfg = self.config
+        if outlet is OutletKind.MALWARE:
+            if self.rng.random() < cfg.malware_return_prob:
+                return self.rng.randint(2, cfg.max_return_visits), (
+                    self.rng.uniform(5.0, 50.0)
+                )
+            return 1, 0.0
+        returning = self.rng.random() < cfg.paste_return_prob
+        if not returning:
+            return 1, 0.0
+        # Hijackers and gold diggers exhibit the multi-day tails of Fig. 1.
+        if classes & {TaxonomyClass.HIJACKER, TaxonomyClass.GOLD_DIGGER}:
+            return self.rng.randint(2, cfg.max_return_visits), (
+                self.rng.uniform(2.0, 12.0)
+            )
+        return self.rng.randint(2, 3), self.rng.uniform(1.0, 8.0)
+
+    def _build_agent(
+        self,
+        event: LeakEvent,
+        password: str,
+        *,
+        outlet: OutletKind,
+        classes: frozenset,
+        arrival: float,
+        malleable_prob: float,
+        anonymise_prob: float,
+        background: OriginMix,
+        level: SophisticationLevel,
+    ) -> AttackerAgent:
+        hint = event.content.location_hint
+        if TaxonomyClass.HIJACKER in classes:
+            arrival += days(
+                lognormal_from_median(
+                    self.rng,
+                    self.config.hijacker_extra_delay_median_days,
+                    1.0,
+                )
+            )
+        malleable = (
+            hint is not LocationHint.NONE
+            and self.rng.random() < malleable_prob
+        )
+        if malleable:
+            origin = OriginKind.DIRECT
+            mix = _MALLEABLE_UK if hint is LocationHint.UK else _MALLEABLE_US
+        else:
+            if self.rng.random() < anonymise_prob:
+                origin = (
+                    OriginKind.PROXY
+                    if self.rng.random()
+                    < self.config.proxy_share_of_anonymised
+                    else OriginKind.TOR
+                )
+            else:
+                origin = OriginKind.DIRECT
+            mix = background
+        origin_city = (
+            self._sample_origin_city(mix)
+            if origin is OriginKind.DIRECT
+            else None
+        )
+        visits, span = self._draw_visits(outlet, classes)
+        profile = AttackerProfile(
+            attacker_id=self._next_id(),
+            outlet=outlet,
+            classes=classes,
+            level=level,
+            origin=origin,
+            origin_city=origin_city,
+            hide_user_agent=False,
+            location_malleable=malleable,
+            android_device=(
+                origin is OriginKind.DIRECT
+                and self.rng.random() < self.config.android_prob
+            ),
+            infected_host=(
+                origin is OriginKind.DIRECT
+                and self.rng.random() < self.config.infected_host_prob
+            ),
+            visits=visits,
+            visit_span_days=span,
+        )
+        return self._schedule_agent(profile, event, password, arrival)
+
+    def _schedule_agent(
+        self,
+        profile: AttackerProfile,
+        event: LeakEvent,
+        password: str,
+        arrival: float,
+    ) -> AttackerAgent:
+        agent = AttackerAgent(
+            profile,
+            event.account_address,
+            password,
+            sim=self.sim,
+            service=self.service,
+            geo=self.geo,
+            anonymity=self.anonymity,
+            ua_factory=self._ua_factory,
+            rng=random.Random(self.rng.getrandbits(64)),
+            blacklist_registrar=self.blacklist_registrar,
+        )
+        gaps = sample_return_gaps(
+            self.rng, profile.visits, profile.visit_span_days
+        )
+        agent.schedule(arrival, gaps)
+        self.agents.append(agent)
+        return agent

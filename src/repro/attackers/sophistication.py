@@ -1,0 +1,101 @@
+"""Attacker profiles: taxonomy classes and sophistication dimensions.
+
+Section 4.8 of the paper identifies three sophistication behaviours —
+configuration hiding (empty user agent), detection evasion (connecting
+near the advertised decoy location), and stealth (no hijacking/spamming).
+:class:`AttackerProfile` captures one visitor's position on all three,
+plus the taxonomy classes governing what they do once inside.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.groups import OutletKind
+from repro.netsim.anonymity import OriginKind
+
+
+class TaxonomyClass(enum.Enum):
+    """The paper's four access types (Section 4.2)."""
+
+    CURIOUS = "curious"
+    GOLD_DIGGER = "gold_digger"
+    SPAMMER = "spammer"
+    HIJACKER = "hijacker"
+
+
+class SophisticationLevel(enum.Enum):
+    """Coarse skill tier, correlated with the leak outlet.
+
+    Malware-outlet criminals are professionals (stealthy, anonymised,
+    config-hiding); paste-site criminals are intermediate (location
+    malleability); free-forum browsers are the least sophisticated.
+    """
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class AttackerProfile:
+    """Everything that parameterises one visitor's behaviour.
+
+    Attributes:
+        attacker_id: stable identity; one profile = one device = one
+            cookie per account visited.
+        outlet: where this visitor obtained the credentials.
+        classes: taxonomy classes of this access (non-exclusive; the
+            paper observed e.g. hijacker+spammer overlaps, and no access
+            was *only* a spammer).
+        level: coarse sophistication tier.
+        origin: how connections are routed (direct / Tor / proxy).
+        origin_city: source city for direct connections (``None`` for
+            anonymised ones, whose exit node has no geolocation).
+        hide_user_agent: present an empty UA (malware-outlet trademark).
+        location_malleable: deliberately connect from near the advertised
+            decoy location to evade login risk analysis.
+        android_device: connect from an Android device.
+        infected_host: the source machine is itself malware-infected;
+            its IP appears on the Spamhaus-style blacklist.
+        visits: number of distinct visits (>= 1).
+        visit_span_days: days over which return visits spread.
+    """
+
+    attacker_id: str
+    outlet: OutletKind
+    classes: frozenset[TaxonomyClass]
+    level: SophisticationLevel
+    origin: OriginKind
+    origin_city: str | None
+    hide_user_agent: bool
+    location_malleable: bool
+    android_device: bool
+    infected_host: bool
+    visits: int
+    visit_span_days: float
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("profile needs at least one taxonomy class")
+        if self.visits < 1:
+            raise ValueError("visits must be >= 1")
+        if (
+            TaxonomyClass.SPAMMER in self.classes
+            and len(self.classes) == 1
+        ):
+            raise ValueError(
+                "no access behaves exclusively as spammer (paper, §4.2)"
+            )
+
+    @property
+    def is_curious_only(self) -> bool:
+        return self.classes == frozenset({TaxonomyClass.CURIOUS})
+
+    @property
+    def anonymised(self) -> bool:
+        return self.origin is not OriginKind.DIRECT
+
+    def has(self, taxonomy_class: TaxonomyClass) -> bool:
+        return taxonomy_class in self.classes

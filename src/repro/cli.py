@@ -1,0 +1,110 @@
+"""Command-line interface: run the measurement and report the results.
+
+Usage::
+
+    python -m repro.cli run --seed 2016 --out results/
+    python -m repro.cli run --paper-cadence     # 10-minute script scans
+    python -m repro.cli tables --seed 2016      # print Table 2 + taxonomy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.dataset import analyze
+from repro.analysis.export import export_results
+from repro.analysis.report import (
+    format_table2,
+    format_taxonomy_summary,
+    overview,
+    significance_tests,
+)
+from repro.core.experiment import Experiment, ExperimentConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'What Happens After You Are Pwnd' (IMC 2016) on "
+            "the simulated honey-account ecosystem."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run the full measurement and print the overview"
+    )
+    tables_parser = subparsers.add_parser(
+        "tables", help="run and print Table 2 + the taxonomy summary"
+    )
+    for sub in (run_parser, tables_parser):
+        sub.add_argument(
+            "--seed", type=int, default=2016,
+            help="master seed (default: 2016)",
+        )
+        sub.add_argument(
+            "--paper-cadence", action="store_true",
+            help="use the paper's 10-minute script scans (slower)",
+        )
+    run_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="export results.json and figure CSVs into DIR",
+    )
+    return parser
+
+
+def _run_experiment(args):
+    config = (
+        ExperimentConfig(master_seed=args.seed)
+        if args.paper_cadence
+        else ExperimentConfig.fast(master_seed=args.seed)
+    )
+    started = time.time()
+    result = Experiment(config).run()
+    elapsed = time.time() - started
+    analysis = analyze(result.dataset, scan_period=config.scan_period)
+    return result, analysis, elapsed
+
+
+def _command_run(args) -> int:
+    result, analysis, elapsed = _run_experiment(args)
+    stats = overview(analysis, result.blacklisted_ips)
+    print(f"measurement complete in {elapsed:.1f}s "
+          f"(seed={args.seed}, {result.events_executed} events)")
+    print(f"unique accesses: {stats.unique_accesses} (paper: 327)")
+    print(f"emails read/sent/drafts: {stats.emails_read}/"
+          f"{stats.emails_sent}/{stats.unique_drafts} "
+          f"(paper: 147/845/12)")
+    print(f"blocked accounts: {stats.blocked_accounts} (paper: 42)")
+    print(f"labels: {stats.label_totals}")
+    tests = significance_tests(analysis)
+    for name, p_value in tests.summary().items():
+        print(f"cvm {name}: p={p_value:.7f}")
+    if args.out:
+        written = export_results(
+            analysis, args.out, blacklisted_ips=result.blacklisted_ips
+        )
+        print(f"exported {len(written)} files to {args.out}")
+    return 0
+
+
+def _command_tables(args) -> int:
+    _, analysis, _ = _run_experiment(args)
+    print(format_taxonomy_summary(analysis))
+    print()
+    print(format_table2(analysis))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_tables(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,428 @@
+"""End-to-end experiment orchestration.
+
+:class:`Experiment` reproduces the paper's full methodology on the
+simulated ecosystem:
+
+1. build the world (geo database, anonymity networks, webmail provider,
+   Apps Script runtime, monitor, sinkhole, blacklist);
+2. provision 100 instrumented honey accounts per the Table 1 leak plan;
+3. leak credentials — pastes on paste sites, teaser threads on
+   underground forums, sandbox logins on malware-infected VMs;
+4. spawn the calibrated attacker population and the scripted case
+   studies (blackmail campaign, quota notices, carding registration);
+5. run the simulation for the 7-month measurement window;
+6. assemble the :class:`~repro.core.records.ObservedDataset` from what
+   the monitoring infrastructure actually collected.
+
+Everything is driven by one master seed; two runs with the same seed and
+config produce identical datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attackers.casestudies import (
+    BlackmailCampaign,
+    CardingForumRegistration,
+    deliver_quota_notice,
+)
+from repro.attackers.population import AttackerPopulation, PopulationConfig
+from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+from repro.core.honeyaccount import HoneyAccount, HoneyAccountFactory
+from repro.core.monitor import MonitorInfrastructure
+from repro.core.records import AccountProvenance, ObservedDataset
+from repro.core.sinkhole import SINKHOLE_ADDRESS, SinkholeMailServer
+from repro.errors import ConfigurationError
+from repro.leaks.formats import leak_content_for, render_paste
+from repro.leaks.forums import UndergroundForum
+from repro.leaks.malware import MalwareLeakChannel
+from repro.leaks.outlet import LeakEvent, LeakLedger
+from repro.leaks.pastesites import PasteSite
+from repro.malwaresim.cnc import CncServer
+from repro.malwaresim.prudent import PrudentPracticeGuard
+from repro.malwaresim.samples import SampleLibrary
+from repro.malwaresim.sandbox import Sandbox, SandboxConfig
+from repro.malwaresim.webserver import DistributionWebServer
+from repro.netsim.anonymity import AnonymityNetwork
+from repro.netsim.blacklist import IPBlacklist
+from repro.netsim.cities import city_by_name
+from repro.netsim.geo import GeoDatabase
+from repro.sim.clock import days, hours, minutes
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedSequence
+from repro.webmail.appsscript import AppsScriptRuntime
+from repro.webmail.service import WebmailService
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Experiment-level knobs.
+
+    The defaults reproduce the paper's setup; ``fast()`` relaxes the
+    monitoring cadences (which barely affect the analysis) so tests and
+    benchmarks run quickly.
+    """
+
+    master_seed: int = 2016
+    duration_days: float = 236.0  # 2015-06-25 .. 2016-02-16
+    monitor_city_name: str = "Reading"
+    scan_period: float = minutes(10)
+    scrape_period: float = hours(2)
+    emails_per_account: tuple[int, int] = (150, 250)
+    quota_case_study_accounts: int = 2
+    enable_case_studies: bool = True
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ConfigurationError("duration_days must be positive")
+        if self.scan_period <= 0 or self.scrape_period <= 0:
+            raise ConfigurationError("periods must be positive")
+
+    @classmethod
+    def fast(cls, master_seed: int = 2016) -> "ExperimentConfig":
+        """A configuration tuned for test/benchmark wall-clock time."""
+        return cls(
+            master_seed=master_seed,
+            scan_period=hours(2),
+            scrape_period=hours(3),
+            emails_per_account=(60, 100),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a finished run exposes.
+
+    ``blacklisted_ips`` plays the role of the Spamhaus lookup the paper
+    ran over every observed IP at analysis time: it is reputation data
+    external to the honey measurement itself.
+    """
+
+    dataset: ObservedDataset
+    honey_accounts: list[HoneyAccount]
+    ledger: LeakLedger
+    config: ExperimentConfig
+    events_executed: int
+    blacklisted_ips: set[str] = field(default_factory=set)
+
+    @property
+    def account_count(self) -> int:
+        return len(self.honey_accounts)
+
+
+class Experiment:
+    """Builds the world and runs the measurement once."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        leak_plan: LeakPlan | None = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.leak_plan = leak_plan or paper_leak_plan()
+        seeds = SeedSequence(self.config.master_seed)
+        self._seeds = seeds
+        self.sim = Simulator()
+        self.geo = GeoDatabase(seeds.rng("geo"))
+        self.anonymity = AnonymityNetwork(self.geo, seeds.rng("anonymity"))
+        self.blacklist = IPBlacklist()
+        self.service = WebmailService(self.geo, seeds.rng("service"))
+        self.sinkhole = SinkholeMailServer()
+        self.service.router.register_sink(SINKHOLE_ADDRESS, self.sinkhole)
+        self.monitor = MonitorInfrastructure(
+            self.sim,
+            self.service,
+            self.geo,
+            city_by_name(self.config.monitor_city_name),
+            scrape_period=self.config.scrape_period,
+        )
+        self.runtime = AppsScriptRuntime(
+            self.sim, quota_notifier=self._on_quota_trip
+        )
+        self.ledger = LeakLedger()
+        self.population = AttackerPopulation(
+            sim=self.sim,
+            service=self.service,
+            geo=self.geo,
+            anonymity=self.anonymity,
+            rng=seeds.rng("population"),
+            config=self.config.population,
+            blacklist_registrar=self._register_infected_ip,
+        )
+        self.honey_accounts: list[HoneyAccount] = []
+        self.blackmail: BlackmailCampaign | None = None
+        self.carding: CardingForumRegistration | None = None
+        self._quota_notified: set[str] = set()
+        self._provisioned = False
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _register_infected_ip(self, ip) -> None:
+        self.blacklist.list_address(
+            ip, reason="malware-infected host", listed_at=self.sim.now
+        )
+
+    def _on_quota_trip(self, account_address: str, now: float) -> None:
+        """Provider notice lands in the honey inbox (once per account)."""
+        if account_address in self._quota_notified:
+            return
+        self._quota_notified.add(account_address)
+        deliver_quota_notice(self.service, account_address, now)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def provision_accounts(self) -> list[HoneyAccount]:
+        """Create and instrument all honey accounts (step 2)."""
+        if self._provisioned:
+            return self.honey_accounts
+        factory = HoneyAccountFactory(
+            self.service,
+            self.runtime,
+            self.monitor.notification_sink,
+            self._seeds.rng("provisioning"),
+            emails_per_account=self.config.emails_per_account,
+            scan_period=self.config.scan_period,
+        )
+        quota_budget = self.config.quota_case_study_accounts
+        for group in self.leak_plan.groups:
+            for _ in range(group.size):
+                # The quota case study: a couple of paste-group accounts
+                # carry a heavier script that trips the daily quota.
+                # A heavy script exceeds the daily quota after a couple of
+                # runs: the provider notice email arrives, and monitoring
+                # still reports during the first runs of each day.
+                heavy = (
+                    self.config.enable_case_studies
+                    and quota_budget > 0
+                    and group.name == "paste_popular_noloc"
+                )
+                cost = 40.0 if heavy else 0.005
+                if heavy:
+                    quota_budget -= 1
+                honey = factory.provision(
+                    group, script_execution_cost=cost
+                )
+                self.honey_accounts.append(honey)
+                self.monitor.watch(
+                    honey.address, honey.leaked_credentials.password
+                )
+        self._provisioned = True
+        return self.honey_accounts
+
+    def leak_credentials(self) -> LeakLedger:
+        """Leak every group on its outlet (step 3)."""
+        if not self._provisioned:
+            self.provision_accounts()
+        by_group: dict[str, list[HoneyAccount]] = {}
+        for honey in self.honey_accounts:
+            by_group.setdefault(honey.group.name, []).append(honey)
+        for group in self.leak_plan.groups:
+            accounts = by_group[group.name]
+            if group.outlet is OutletKind.PASTE:
+                self._leak_on_paste_sites(group.venues, accounts)
+            elif group.outlet is OutletKind.FORUM:
+                self._leak_on_forums(group.venues, accounts)
+            else:
+                self._leak_via_malware(accounts)
+        return self.ledger
+
+    def _leak_on_paste_sites(self, venues, accounts) -> None:
+        rng = self._seeds.rng("leak", "paste")
+        for venue in venues:
+            site = PasteSite.from_name(venue)
+            contents = [
+                leak_content_for(
+                    h.identity, h.leaked_credentials, h.group.location_hint
+                )
+                for h in accounts
+            ]
+            publish_time = days(rng.uniform(0.0, 2.0))
+            site.publish(
+                render_paste(contents),
+                tuple(h.address for h in accounts),
+                publish_time,
+            )
+            for honey, content in zip(accounts, contents):
+                event = LeakEvent(
+                    content=content,
+                    group=honey.group,
+                    venue=venue,
+                    leak_time=publish_time,
+                )
+                self.ledger.record(event)
+                self.population.spawn_for_leak(
+                    event, honey.leaked_credentials.password
+                )
+
+    def _leak_on_forums(self, venues, accounts) -> None:
+        rng = self._seeds.rng("leak", "forum")
+        for venue in venues:
+            forum = UndergroundForum.from_name(venue)
+            poster = f"freshseller{rng.randrange(100, 999)}"
+            forum.register(poster)
+            contents = [
+                leak_content_for(
+                    h.identity, h.leaked_credentials, h.group.location_hint
+                )
+                for h in accounts
+            ]
+            publish_time = days(rng.uniform(0.0, 3.0))
+            post = forum.post_teaser(
+                poster,
+                render_paste(contents, teaser=True),
+                tuple(h.address for h in accounts),
+                publish_time,
+            )
+            forum.generate_inquiries(post, rng)
+            for honey, content in zip(accounts, contents):
+                event = LeakEvent(
+                    content=content,
+                    group=honey.group,
+                    venue=venue,
+                    leak_time=publish_time,
+                )
+                self.ledger.record(event)
+                self.population.spawn_for_leak(
+                    event, honey.leaked_credentials.password
+                )
+
+    def _leak_via_malware(self, accounts) -> None:
+        """Run the sandbox campaign that exposes credentials to malware."""
+        rng = self._seeds.rng("leak", "malware")
+        botmasters = [
+            CncServer(
+                hostname=f"cnc{i}.badnet.example",
+                family="zeus" if i % 3 else "corebot",
+                is_alive=(i % 4 != 3),  # a quarter of C&Cs are dead
+                botmaster_id=f"botmaster-{i}",
+            )
+            for i in range(8)
+        ]
+        library = SampleLibrary(rng)
+        library.build_default_population(botmasters)
+        webserver = DistributionWebServer(rng=rng)
+        webserver.load_samples(library.liveness_prefilter())
+        webserver.load_credentials(
+            [h.leaked_credentials for h in accounts]
+        )
+        sandbox = Sandbox(
+            service=self.service,
+            webserver=webserver,
+            guard=PrudentPracticeGuard(),
+            geo=self.geo,
+            host_city=self.monitor.monitor_city,
+            rng=rng,
+            config=SandboxConfig(),
+        )
+        # Sandbox logins are infrastructure accesses; exclude them.
+        self.monitor.register_monitor_ip(sandbox.host_ip)
+        channel = MalwareLeakChannel(self.ledger)
+        runs = sandbox.run_campaign(start_time=hours(1.0))
+        by_address = {h.address: h for h in accounts}
+        for run in runs:
+            honey = by_address[run.credential.address]
+            content = leak_content_for(
+                honey.identity,
+                honey.leaked_credentials,
+                honey.group.location_hint,
+            )
+            event = channel.process_sandbox_run(run, content, honey.group)
+            if event is not None:
+                self.population.spawn_for_leak(
+                    event, honey.leaked_credentials.password
+                )
+
+    def schedule_case_studies(self) -> None:
+        """Wire the Section 4.7 case studies (step 4)."""
+        if not self.config.enable_case_studies:
+            return
+        paste_accounts = [
+            h
+            for h in self.honey_accounts
+            if h.group.name == "paste_popular_noloc"
+        ]
+        self.blackmail = BlackmailCampaign(
+            sim=self.sim,
+            service=self.service,
+            geo=self.geo,
+            rng=self._seeds.rng("casestudy", "blackmail"),
+        )
+        # Skip the quota-case-study accounts (their heavy scripts report
+        # only during the first runs of each day) so the blackmail drafts
+        # are reliably picked up by monitoring.  The blackmailer gets a
+        # pool of candidates and uses the first three still accessible.
+        start = self.config.quota_case_study_accounts
+        for honey in paste_accounts[start:start + 8]:
+            self.blackmail.target(
+                honey.address, honey.leaked_credentials.password
+            )
+        self.blackmail.schedule()
+        self.carding = CardingForumRegistration(
+            sim=self.sim, service=self.service
+        )
+        if len(paste_accounts) > start + 8:
+            self.carding.schedule(paste_accounts[start + 8].address)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the full measurement and assemble the dataset."""
+        self.provision_accounts()
+        self.leak_credentials()
+        self.schedule_case_studies()
+        self.monitor.start()
+        executed = self.sim.run_until(days(self.config.duration_days))
+        self.monitor.stop()
+        return ExperimentResult(
+            dataset=self._assemble_dataset(),
+            honey_accounts=self.honey_accounts,
+            ledger=self.ledger,
+            config=self.config,
+            events_executed=executed,
+            blacklisted_ips={
+                str(entry.address) for entry in self.blacklist
+            },
+        )
+
+    def _assemble_dataset(self) -> ObservedDataset:
+        dataset = ObservedDataset()
+        dataset.accesses = list(self.monitor.scraped_accesses)
+        dataset.notifications = list(self.monitor.notifications)
+        dataset.monitor_ips = set(self.monitor.monitor_ip_strings)
+        dataset.monitor_city = self.monitor.monitor_city.name
+        dataset.scrape_failures = list(self.monitor.scrape_failures)
+        for honey in self.honey_accounts:
+            leak_time = self.ledger.first_leak_time(honey.address)
+            dataset.provenance[honey.address] = AccountProvenance(
+                address=honey.address,
+                group=honey.group,
+                leak_time=leak_time if leak_time is not None else 0.0,
+            )
+            dataset.all_email_texts[honey.address] = [
+                m.text
+                for m in honey.account.mailbox.all_messages()
+                if m.received_at < 0  # seeded history only
+            ]
+        for honey in self.honey_accounts:
+            if honey.account.is_blocked:
+                dataset.blocked_accounts.append(
+                    (honey.address, honey.account.blocked_at or 0.0)
+                )
+        return dataset
+
+
+def run_paper_experiment(
+    seed: int = 2016, *, fast: bool = True
+) -> ExperimentResult:
+    """One-call entry point used by examples and benchmarks."""
+    config = (
+        ExperimentConfig.fast(master_seed=seed)
+        if fast
+        else ExperimentConfig(master_seed=seed)
+    )
+    return Experiment(config).run()

@@ -1,0 +1,213 @@
+"""The Table 1 leak plan: which accounts are leaked where, with what info.
+
+The paper splits 100 honey accounts into groups per outlet and per the
+amount of decoy information included in the leak (none, UK location, US
+location).  Table 1 reports the coarse grouping; Section 3.2 details the
+subgroups (popular vs Russian paste sites; UK vs US location halves).
+This module encodes both granularities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class OutletKind(enum.Enum):
+    """The three credential-leak outlet families studied by the paper."""
+
+    PASTE = "paste"
+    FORUM = "forum"
+    MALWARE = "malware"
+
+
+class LocationHint(enum.Enum):
+    """Decoy location information advertised with a leak."""
+
+    NONE = "none"
+    UK = "uk"
+    US = "us"
+
+    @property
+    def home_region(self) -> str | None:
+        """Region bucket personas in this group draw home cities from."""
+        if self is LocationHint.UK:
+            return "uk"
+        if self is LocationHint.US:
+            return "us_midwest"
+        return None
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One leak subgroup.
+
+    Attributes:
+        name: stable identifier, e.g. ``"paste_popular_noloc"``.
+        outlet: outlet family the group's credentials are leaked on.
+        size: number of honey accounts in the group.
+        location_hint: decoy location advertised in the leak.
+        venues: the concrete outlet venues used (site or forum names).
+        table1_group: the coarse group number from the paper's Table 1.
+    """
+
+    name: str
+    outlet: OutletKind
+    size: int
+    location_hint: LocationHint
+    venues: tuple[str, ...]
+    table1_group: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"group {self.name!r} must be non-empty")
+        if not self.venues:
+            raise ConfigurationError(f"group {self.name!r} needs >= 1 venue")
+
+
+@dataclass(frozen=True)
+class LeakPlan:
+    """The full leak plan (all subgroups)."""
+
+    groups: tuple[GroupSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate group names in leak plan")
+
+    @property
+    def total_accounts(self) -> int:
+        return sum(g.size for g in self.groups)
+
+    def groups_for_outlet(self, outlet: OutletKind) -> tuple[GroupSpec, ...]:
+        return tuple(g for g in self.groups if g.outlet is outlet)
+
+    def group(self, name: str) -> GroupSpec:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise ConfigurationError(f"unknown group {name!r}")
+
+    def table1_rows(self) -> list[tuple[int, int, str]]:
+        """Rows of the paper's Table 1: (group number, #accounts, outlet)."""
+        coarse: dict[int, tuple[int, str]] = {}
+        descriptions = {
+            (OutletKind.PASTE, False): (
+                "popular paste websites (no location information)"
+            ),
+            (OutletKind.PASTE, True): (
+                "popular paste websites (including location information)"
+            ),
+            (OutletKind.FORUM, False): (
+                "underground forums (no location information)"
+            ),
+            (OutletKind.FORUM, True): (
+                "underground forums (including location information)"
+            ),
+            (OutletKind.MALWARE, False): (
+                "malware (no location information)"
+            ),
+        }
+        for group in self.groups:
+            has_location = group.location_hint is not LocationHint.NONE
+            key = group.table1_group
+            count, _ = coarse.get(key, (0, ""))
+            coarse[key] = (
+                count + group.size,
+                descriptions[(group.outlet, has_location)],
+            )
+        return [
+            (number, count, description)
+            for number, (count, description) in sorted(coarse.items())
+        ]
+
+
+#: Paste sites used by the paper.
+POPULAR_PASTE_SITES = ("pastebin.com", "pastie.org")
+RUSSIAN_PASTE_SITES = ("p.for-us.nl", "paste.org.ru")
+
+#: Underground forums used by the paper.
+UNDERGROUND_FORUMS = (
+    "offensivecommunity.net",
+    "bestblackhatforums.eu",
+    "hackforums.net",
+    "blackhatworld.com",
+)
+
+#: Malware families run in the sandbox.
+MALWARE_FAMILIES = ("zeus", "corebot")
+
+
+def paper_leak_plan() -> LeakPlan:
+    """The exact leak plan of the paper (Table 1 + Section 3.2 detail)."""
+    return LeakPlan(
+        groups=(
+            GroupSpec(
+                name="paste_popular_noloc",
+                outlet=OutletKind.PASTE,
+                size=20,
+                location_hint=LocationHint.NONE,
+                venues=POPULAR_PASTE_SITES,
+                table1_group=1,
+            ),
+            GroupSpec(
+                name="paste_russian_noloc",
+                outlet=OutletKind.PASTE,
+                size=10,
+                location_hint=LocationHint.NONE,
+                venues=RUSSIAN_PASTE_SITES,
+                table1_group=1,
+            ),
+            GroupSpec(
+                name="paste_uk",
+                outlet=OutletKind.PASTE,
+                size=10,
+                location_hint=LocationHint.UK,
+                venues=POPULAR_PASTE_SITES,
+                table1_group=2,
+            ),
+            GroupSpec(
+                name="paste_us",
+                outlet=OutletKind.PASTE,
+                size=10,
+                location_hint=LocationHint.US,
+                venues=POPULAR_PASTE_SITES,
+                table1_group=2,
+            ),
+            GroupSpec(
+                name="forum_noloc",
+                outlet=OutletKind.FORUM,
+                size=10,
+                location_hint=LocationHint.NONE,
+                venues=UNDERGROUND_FORUMS,
+                table1_group=3,
+            ),
+            GroupSpec(
+                name="forum_uk",
+                outlet=OutletKind.FORUM,
+                size=10,
+                location_hint=LocationHint.UK,
+                venues=UNDERGROUND_FORUMS,
+                table1_group=4,
+            ),
+            GroupSpec(
+                name="forum_us",
+                outlet=OutletKind.FORUM,
+                size=10,
+                location_hint=LocationHint.US,
+                venues=UNDERGROUND_FORUMS,
+                table1_group=4,
+            ),
+            GroupSpec(
+                name="malware",
+                outlet=OutletKind.MALWARE,
+                size=20,
+                location_hint=LocationHint.NONE,
+                venues=MALWARE_FAMILIES,
+                table1_group=5,
+            ),
+        )
+    )

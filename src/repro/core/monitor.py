@@ -1,0 +1,228 @@
+"""The monitoring infrastructure: notification store + activity scraper.
+
+Two collectors, as in Section 3.1 of the paper:
+
+* the **notification store** is the dedicated webmail account the hidden
+  scripts report to; here it is an append-only list of
+  :class:`~repro.core.notifications.NotificationRecord`;
+* the **activity scraper** drives a browser, periodically logs into every
+  honey account with the leaked credentials, and dumps the account
+  activity page to disk for offline parsing.  When a hijacker changes a
+  password the scraper is locked out — access records stop, while script
+  notifications keep flowing.
+
+The scraper's own logins appear on the activity pages (it is a real
+client); the analysis layer removes them by IP and by city, exactly like
+the paper's cleaning step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.notifications import NotificationRecord
+from repro.core.records import ObservedAccess
+from repro.errors import (
+    AccountBlockedError,
+    AuthenticationError,
+    WebmailError,
+)
+from repro.netsim.cities import City
+from repro.netsim.geo import GeoDatabase
+from repro.netsim.ipaddr import IPAddress
+from repro.sim.clock import hours
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.webmail.activity import AccessEvent
+from repro.webmail.service import LoginContext, WebmailService
+
+_SCRAPER_USER_AGENT = (
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "Chrome/43.0.2357 Safari/537.36"
+)
+
+
+class ScrapeOutcome(enum.Enum):
+    """Result of one scraper visit to one account."""
+
+    OK = "ok"
+    LOCKED_OUT = "locked_out"  # password changed by a hijacker
+    BLOCKED = "blocked"  # account suspended by the provider
+
+
+@dataclass
+class _WatchedAccount:
+    address: str
+    password: str
+    last_seen_event_time: float = float("-inf")
+    locked_out: bool = False
+    blocked: bool = False
+
+
+@dataclass
+class ScrapeLogEntry:
+    """Diagnostic record of one scraper visit."""
+
+    address: str
+    timestamp: float
+    outcome: ScrapeOutcome
+    new_events: int
+
+
+class MonitorInfrastructure:
+    """Owns both collectors and the scraping schedule.
+
+    Args:
+        sim: simulation engine for the periodic scrape.
+        service: the webmail provider.
+        geo: used to allocate the monitor's own IP addresses.
+        monitor_city: where the infrastructure is hosted; its accesses are
+            excluded from analysis by city, as in the paper.
+        scrape_period: seconds between scrapes of each account.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: WebmailService,
+        geo: GeoDatabase,
+        monitor_city: City,
+        *,
+        scrape_period: float = hours(6),
+    ) -> None:
+        self._sim = sim
+        self._service = service
+        self._geo = geo
+        self.monitor_city = monitor_city
+        self._scrape_period = scrape_period
+        self._watched: dict[str, _WatchedAccount] = {}
+        self._monitor_ips: list[IPAddress] = [
+            geo.allocate_in_city(monitor_city) for _ in range(3)
+        ]
+        self._ip_cursor = 0
+        self.notifications: list[NotificationRecord] = []
+        self.scraped_accesses: list[ObservedAccess] = []
+        self.scrape_log: list[ScrapeLogEntry] = []
+        self.scrape_failures: list[tuple[str, float]] = []
+        self._process: PeriodicProcess | None = None
+
+    # ------------------------------------------------------------------
+    # notification store
+    # ------------------------------------------------------------------
+    def notification_sink(self, record: NotificationRecord) -> None:
+        """The sink handed to every honey script."""
+        self.notifications.append(record)
+
+    # ------------------------------------------------------------------
+    # scraping
+    # ------------------------------------------------------------------
+    @property
+    def monitor_ips(self) -> tuple[IPAddress, ...]:
+        return tuple(self._monitor_ips)
+
+    def register_monitor_ip(self, address: IPAddress) -> None:
+        """Register an additional infrastructure IP (e.g. the sandbox)."""
+        self._monitor_ips.append(address)
+
+    def watch(self, address: str, password: str) -> None:
+        """Start scraping an account with its leaked credentials."""
+        self._watched[address] = _WatchedAccount(address, password)
+
+    def start(self) -> None:
+        """Begin the periodic scrape of all watched accounts."""
+        if self._process is not None:
+            return
+        self._process = PeriodicProcess(
+            self._sim,
+            self._scrape_period,
+            self._scrape_all,
+            start_delay=self._scrape_period,
+            label="monitor:scrape",
+        )
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def _next_ip(self) -> IPAddress:
+        ip = self._monitor_ips[self._ip_cursor % len(self._monitor_ips)]
+        self._ip_cursor += 1
+        return ip
+
+    def _scrape_all(self) -> None:
+        now = self._sim.now
+        for watched in self._watched.values():
+            if watched.locked_out or watched.blocked:
+                continue
+            self._scrape_one(watched, now)
+
+    def _scrape_one(self, watched: _WatchedAccount, now: float) -> None:
+        context = LoginContext(
+            device_id="monitor-browser",
+            ip_address=self._next_ip(),
+            user_agent=_SCRAPER_USER_AGENT,
+        )
+        try:
+            session = self._service.login(
+                watched.address, watched.password, context, now
+            )
+        except AuthenticationError:
+            # Hijacker changed the password; we lose the activity page but
+            # script notifications keep arriving.
+            watched.locked_out = True
+            self.scrape_failures.append((watched.address, now))
+            self.scrape_log.append(
+                ScrapeLogEntry(watched.address, now, ScrapeOutcome.LOCKED_OUT, 0)
+            )
+            return
+        except AccountBlockedError:
+            watched.blocked = True
+            self.scrape_log.append(
+                ScrapeLogEntry(watched.address, now, ScrapeOutcome.BLOCKED, 0)
+            )
+            return
+        except WebmailError:
+            return
+        events = self._service.activity.events_since(
+            watched.address, watched.last_seen_event_time
+        )
+        for event in events:
+            self.scraped_accesses.append(self._parse_event(event))
+            watched.last_seen_event_time = max(
+                watched.last_seen_event_time, event.timestamp
+            )
+        self._service.logout(session)
+        self.scrape_log.append(
+            ScrapeLogEntry(watched.address, now, ScrapeOutcome.OK, len(events))
+        )
+
+    @staticmethod
+    def _parse_event(event: AccessEvent) -> ObservedAccess:
+        """Offline parsing of one dumped activity-page row."""
+        location = event.location
+        return ObservedAccess(
+            account_address=event.account_address,
+            cookie_id=str(event.cookie),
+            ip_address=str(event.ip_address),
+            city=location.city if location else None,
+            country=location.country if location else None,
+            latitude=location.latitude if location else None,
+            longitude=location.longitude if location else None,
+            device_kind=event.fingerprint.kind.value,
+            os_family=event.fingerprint.os_family,
+            browser=event.fingerprint.browser,
+            user_agent=event.fingerprint.user_agent,
+            timestamp=event.timestamp,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+    @property
+    def monitor_ip_strings(self) -> set[str]:
+        return {str(ip) for ip in self._monitor_ips}
+
+    def locked_out_accounts(self) -> list[str]:
+        return [w.address for w in self._watched.values() if w.locked_out]

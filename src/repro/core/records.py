@@ -1,0 +1,98 @@
+"""Observed datasets: what the researchers actually collected.
+
+Two artifact streams exist, mirroring the paper's Section 3.1:
+
+* **scraped accesses** — rows of the account activity page captured by the
+  scraper (:class:`ObservedAccess`), including cookie identifier, IP,
+  geolocated city when available, and device fingerprint;
+* **notifications** — events reported by the hidden scripts
+  (:class:`~repro.core.notifications.NotificationRecord`).
+
+:class:`ObservedDataset` bundles both plus the metadata needed for the
+cleaning step (monitor IPs and monitor city) and per-account leak
+provenance.  The analysis package consumes *only* this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.groups import GroupSpec
+from repro.core.notifications import NotificationRecord
+
+
+@dataclass(frozen=True)
+class ObservedAccess:
+    """One scraped activity-page row, as parsed offline.
+
+    Location fields are ``None`` when the provider could not geolocate the
+    source (Tor exit nodes and anonymous proxies).
+    """
+
+    account_address: str
+    cookie_id: str
+    ip_address: str
+    city: str | None
+    country: str | None
+    latitude: float | None
+    longitude: float | None
+    device_kind: str
+    os_family: str
+    browser: str
+    user_agent: str
+    timestamp: float
+
+    @property
+    def has_location(self) -> bool:
+        return self.city is not None
+
+
+@dataclass(frozen=True)
+class AccountProvenance:
+    """Leak provenance of one honey account (known to the researchers)."""
+
+    address: str
+    group: GroupSpec
+    leak_time: float
+
+
+@dataclass
+class ObservedDataset:
+    """Everything the measurement produced, ready for analysis.
+
+    Attributes:
+        accesses: scraped activity-page rows (uncleaned; analysis applies
+            the monitor-IP / monitor-city filter).
+        notifications: script notifications, in arrival order.
+        provenance: per-account leak group and leak time.
+        monitor_ips: IP addresses belonging to the monitoring and sandbox
+            infrastructure, to be excluded from analysis.
+        monitor_city: city hosting the monitoring infrastructure; accesses
+            geolocated there are excluded, as in the paper.
+        all_email_texts: text of every email seeded into honey accounts
+            (the TF-IDF "all emails" document, per account address).
+        blocked_accounts: addresses suspended by the provider, with time.
+        scrape_failures: (address, time) pairs at which the scraper could
+            no longer log in (password changed by a hijacker).
+    """
+
+    accesses: list[ObservedAccess] = field(default_factory=list)
+    notifications: list[NotificationRecord] = field(default_factory=list)
+    provenance: dict[str, AccountProvenance] = field(default_factory=dict)
+    monitor_ips: set[str] = field(default_factory=set)
+    monitor_city: str | None = None
+    all_email_texts: dict[str, list[str]] = field(default_factory=dict)
+    blocked_accounts: list[tuple[str, float]] = field(default_factory=list)
+    scrape_failures: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def account_addresses(self) -> tuple[str, ...]:
+        return tuple(self.provenance)
+
+    def accesses_for(self, address: str) -> list[ObservedAccess]:
+        return [a for a in self.accesses if a.account_address == address]
+
+    def notifications_for(self, address: str) -> list[NotificationRecord]:
+        return [
+            n for n in self.notifications if n.account_address == address
+        ]

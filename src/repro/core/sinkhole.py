@@ -1,0 +1,43 @@
+"""The sinkhole mailserver.
+
+Honey accounts have their default send-from address pointed at a mailserver
+under the researchers' control "which simply dumps the emails to disk and
+does not forward them to the intended destination" — the ethical safeguard
+that lets spammers *believe* they are sending while nothing is delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.webmail.smtp import SentEmail
+
+#: The address honey accounts use as their send-from override.
+SINKHOLE_ADDRESS = "dump@sinkhole.monitor.example"
+
+
+@dataclass
+class SinkholeMailServer:
+    """Dumps every received email; nothing is ever forwarded."""
+
+    _dumped: list[SentEmail] = field(default_factory=list)
+
+    def receive(self, sent: SentEmail) -> None:
+        """Accept one sinkholed email (the :class:`MailSink` protocol)."""
+        self._dumped.append(sent)
+
+    @property
+    def dumped(self) -> tuple[SentEmail, ...]:
+        """Every email dumped to disk, in arrival order."""
+        return tuple(self._dumped)
+
+    def dumped_for(self, account_address: str) -> tuple[SentEmail, ...]:
+        """Dumped mail originating from one honey account."""
+        return tuple(
+            s for s in self._dumped if s.account_address == account_address
+        )
+
+    @property
+    def delivered_to_outside_world(self) -> int:
+        """Always zero, by construction; exists so tests state the invariant."""
+        return 0

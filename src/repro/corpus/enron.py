@@ -1,0 +1,207 @@
+"""Synthetic corporate-email corpus generator.
+
+Stands in for the public Enron dataset (Klimt & Yang, CEAS 2004), which is
+not available offline.  The generator produces business emails for a
+fictitious energy company with the statistical properties the paper's
+analysis needs: a heavy core of business vocabulary shared by all topics,
+and a thin tail of finance/personal-sensitive emails that search-driven
+attackers ("gold diggers") can surface.
+
+Emails are plain data (:class:`GeneratedEmail`); the mapping layer turns
+them into mailbox-ready messages for each honey account.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+from repro.errors import ConfigurationError
+from repro.corpus import wordbank
+from repro.corpus.names import FIRST_NAMES, LAST_NAMES
+
+#: Corpus "original" timeframe (pre-remapping), echoing Enron's 1999-2002.
+_CORPUS_START = datetime(2000, 1, 3, 8, 0, tzinfo=timezone.utc)
+_CORPUS_SPAN_DAYS = 700
+
+_SUBJECT_TEMPLATES: tuple[str, ...] = (
+    "RE: {topic_word} {core_word} for {counterparty}",
+    "{core_word} {topic_word} update",
+    "FW: {topic_word} {core_word}",
+    "{counterparty} {topic_word} review",
+    "Action needed: {topic_word} {core_word}",
+    "{core_word} schedule for {counterparty}",
+)
+
+_OPENINGS: tuple[str, ...] = (
+    "Please review the {core_word} {topic_word} attached to this email.",
+    "Following our meeting about the {topic_word}, here is the {core_word}.",
+    "I wanted to give you an update about the {counterparty} {topic_word}.",
+    "The {topic_word} {core_word} from {counterparty} came in this morning.",
+    "As discussed, the {core_word} for the {topic_word} would be ready soon.",
+)
+
+_BODY_TEMPLATES: tuple[str, ...] = (
+    "The {topic_word} group would like more information about the "
+    "{core_word} before the original deadline.",
+    "Our company needs the {core_word} numbers for the {topic_word} "
+    "transfer by Thursday.",
+    "Energy prices moved again, so the {topic_word} {core_word} should be "
+    "revised before we transfer the position.",
+    "Please provide the original {core_word} so the {topic_word} team can "
+    "complete the review.",
+    "I attached the {core_word} about the {counterparty} {topic_word} for "
+    "your information.",
+    "The power desk asked about the {topic_word} {core_word}; please "
+    "forward any information you have.",
+    "Would you confirm the {core_word} details so we can update the "
+    "{topic_word} schedule?",
+    "This email includes the {topic_word} {core_word} that {counterparty} "
+    "requested about the agreement.",
+)
+
+_CLOSINGS: tuple[str, ...] = (
+    "Please let me know if you would like to discuss.",
+    "Thanks for your help with the {topic_word}.",
+    "I will forward more information about the {core_word} tomorrow.",
+    "Please call my office about any question.",
+)
+
+_COUNTERPARTIES: tuple[str, ...] = (
+    "Westgate", "Calpine", "Dynegy", "Sempra", "Entergy", "Duke",
+    "Mirant", "Reliant", "Aquila", "TransAlta",
+)
+
+
+@dataclass(frozen=True)
+class GeneratedEmail:
+    """One synthetic corpus email, before honey-account remapping."""
+
+    sender_name: str
+    recipient_name: str
+    subject: str
+    body: str
+    sent_at: datetime
+    topic: str
+
+    @property
+    def text(self) -> str:
+        """Subject + body, the text the TF-IDF analysis consumes."""
+        return f"{self.subject}\n{self.body}"
+
+
+@dataclass
+class CorpusStats:
+    """Aggregate statistics for a generated corpus (used in tests)."""
+
+    email_count: int = 0
+    topic_counts: dict[str, int] = field(default_factory=dict)
+
+
+class CorpusGenerator:
+    """Generates deterministic synthetic corporate email.
+
+    Args:
+        rng: the randomness stream; a fixed seed yields a fixed corpus.
+        company: company name woven into email bodies (pre-remapping this
+            is the stand-in for "Enron"; the mapper replaces it).
+    """
+
+    def __init__(self, rng: random.Random, company: str = "Enrova") -> None:
+        self._rng = rng
+        self.company = company
+        self._topic_names = wordbank.topic_names()
+        self._topic_weights = wordbank.topic_weights()
+        self._characters = [
+            f"{first} {last}"
+            for first, last in zip(FIRST_NAMES[:30], LAST_NAMES[:30])
+        ]
+
+    def _fill(self, template: str, topic_vocab: tuple[str, ...]) -> str:
+        return template.format(
+            topic_word=self._rng.choice(topic_vocab),
+            core_word=self._rng.choice(wordbank.CORE_BUSINESS),
+            counterparty=self._rng.choice(_COUNTERPARTIES),
+        )
+
+    def _sentence_pool(
+        self, topic: str, topic_vocab: tuple[str, ...]
+    ) -> list[str]:
+        sentences = [self._fill(t, topic_vocab) for t in _BODY_TEMPLATES]
+        # Topic flavour: sprinkle extra topic/filler terms as short notes.
+        extra_terms = self._rng.sample(
+            list(topic_vocab) + list(wordbank.GENERAL_FILLER), k=4
+        )
+        sentences.append(
+            "Notes: " + ", ".join(sorted(extra_terms)) + "."
+        )
+        if topic == "finance":
+            sentences.append(
+                "The payment account results are listed below the "
+                "statement summary."
+            )
+        if topic == "personal":
+            sentences.append(
+                "Hope the family is doing great; see everyone at the "
+                "birthday party."
+            )
+        return sentences
+
+    def generate_email(self) -> GeneratedEmail:
+        """Generate a single email with a weighted-random topic."""
+        topic = self._rng.choices(
+            self._topic_names, weights=self._topic_weights, k=1
+        )[0]
+        return self.generate_email_for_topic(topic)
+
+    def generate_email_for_topic(self, topic: str) -> GeneratedEmail:
+        """Generate a single email with the given topic."""
+        if topic not in self._topic_names:
+            raise ConfigurationError(f"unknown topic {topic!r}")
+        vocab = wordbank.topic_vocabulary(topic)
+        sender = self._rng.choice(self._characters)
+        recipient = self._rng.choice(
+            [c for c in self._characters if c != sender]
+        )
+        subject = self._fill(self._rng.choice(_SUBJECT_TEMPLATES), vocab)
+        opening = self._fill(self._rng.choice(_OPENINGS), vocab)
+        pool = self._sentence_pool(topic, vocab)
+        n_sentences = self._rng.randrange(3, 7)
+        chosen = self._rng.sample(pool, k=min(n_sentences, len(pool)))
+        closing = self._fill(self._rng.choice(_CLOSINGS), vocab)
+        body_lines = [opening, *chosen, closing]
+        body = "\n".join(body_lines)
+        body += f"\n{sender}\n{self.company} Corporation"
+        offset_days = self._rng.uniform(0, _CORPUS_SPAN_DAYS)
+        sent_at = _CORPUS_START + timedelta(days=offset_days)
+        return GeneratedEmail(
+            sender_name=sender,
+            recipient_name=recipient,
+            subject=subject,
+            body=body,
+            sent_at=sent_at,
+            topic=topic,
+        )
+
+    def generate_mailbox(self, email_count: int) -> list[GeneratedEmail]:
+        """Generate a mailbox-sized batch sorted by send time.
+
+        Raises:
+            ConfigurationError: if ``email_count`` is not positive.
+        """
+        if email_count <= 0:
+            raise ConfigurationError("email_count must be positive")
+        emails = [self.generate_email() for _ in range(email_count)]
+        emails.sort(key=lambda e: e.sent_at)
+        return emails
+
+    @staticmethod
+    def stats(emails: list[GeneratedEmail]) -> CorpusStats:
+        """Compute aggregate statistics over generated emails."""
+        stats = CorpusStats(email_count=len(emails))
+        for email in emails:
+            stats.topic_counts[email.topic] = (
+                stats.topic_counts.get(email.topic, 0) + 1
+            )
+        return stats

@@ -1,0 +1,96 @@
+"""Honey personas: the fictional owners of the honey accounts.
+
+Each honey account belongs to a fictional employee of a fictitious energy
+company.  Some leaks advertise the persona's home location (near London or
+in the US Midwest) and a date of birth — Section 3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import ConfigurationError
+from repro.corpus.names import handle_for, random_identity_name
+from repro.netsim.cities import City, cities_in_region
+
+#: The fictitious company replacing "Enron" in the seeded corpus.
+COMPANY_NAME = "Lumenor"
+COMPANY_DOMAIN = "lumenor-corp.com"
+
+#: The webmail domain honey accounts live on (simulated Gmail).
+WEBMAIL_DOMAIN = "gmail.example"
+
+
+@dataclass(frozen=True)
+class HoneyIdentity:
+    """A fictional persona owning one honey account."""
+
+    first_name: str
+    last_name: str
+    handle: str
+    address: str
+    home_city: City | None
+    date_of_birth: date
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+    @property
+    def corporate_address(self) -> str:
+        """The persona's address at the fictitious company."""
+        return f"{self.handle}@{COMPANY_DOMAIN}"
+
+
+class IdentityFactory:
+    """Deterministically mints unique honey personas.
+
+    Args:
+        rng: source of randomness (derived stream).
+        home_region: optional region bucket (``"uk"`` / ``"us_midwest"``)
+            from which to draw an advertised home city; ``None`` leaves the
+            persona without advertised location, matching the no-location
+            leak groups.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used_handles: set[str] = set()
+
+    def create(self, home_region: str | None = None) -> HoneyIdentity:
+        """Mint a new persona; handles are unique across the factory."""
+        first, last = random_identity_name(self._rng)
+        handle = handle_for(first, last)
+        if handle in self._used_handles:
+            suffix = self._rng.randrange(10, 99)
+            handle = handle_for(first, last, suffix)
+            attempts = 0
+            while handle in self._used_handles:
+                attempts += 1
+                if attempts > 1000:
+                    raise ConfigurationError("handle space exhausted")
+                suffix = self._rng.randrange(10, 9999)
+                handle = handle_for(first, last, suffix)
+        self._used_handles.add(handle)
+        home_city = None
+        if home_region is not None:
+            home_city = self._rng.choice(list(cities_in_region(home_region)))
+        birth_year = self._rng.randrange(1960, 1995)
+        birth_month = self._rng.randrange(1, 13)
+        birth_day = self._rng.randrange(1, 28)
+        return HoneyIdentity(
+            first_name=first,
+            last_name=last,
+            handle=handle,
+            address=f"{handle}@{WEBMAIL_DOMAIN}",
+            home_city=home_city,
+            date_of_birth=date(birth_year, birth_month, birth_day),
+        )
+
+    def create_many(
+        self, count: int, home_region: str | None = None
+    ) -> list[HoneyIdentity]:
+        """Mint ``count`` personas sharing a home region policy."""
+        return [self.create(home_region) for _ in range(count)]

@@ -1,0 +1,159 @@
+"""Corpus remapping: make generated emails belong to a honey persona.
+
+The paper maps distinct Enron recipients onto the fictional honey persona,
+replaces first/last names, swaps "Enron" for a fictitious company name, and
+refreshes all dates "to reflect the time in which the accounts were
+populated".  :class:`CorpusMapper` applies the same pipeline to the
+synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+from repro.errors import ConfigurationError
+from repro.corpus.enron import GeneratedEmail
+from repro.corpus.identity import COMPANY_NAME, HoneyIdentity
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Parameters of the remapping pass.
+
+    Attributes:
+        company_name: fictitious company replacing the corpus company.
+        populate_time: the wall-clock moment accounts are populated; the
+            corpus timeline is shifted so its newest email lands shortly
+            before this time.
+        history_span_days: how far back the remapped mailbox history runs.
+    """
+
+    company_name: str = COMPANY_NAME
+    populate_time: datetime = datetime(2015, 6, 20, tzinfo=timezone.utc)
+    history_span_days: float = 540.0
+
+    def __post_init__(self) -> None:
+        if self.history_span_days <= 0:
+            raise ConfigurationError("history_span_days must be positive")
+        if self.populate_time.tzinfo is None:
+            raise ConfigurationError("populate_time must be timezone-aware")
+
+
+@dataclass(frozen=True)
+class MappedEmail:
+    """A corpus email rewritten to belong to a honey persona's mailbox."""
+
+    sender_name: str
+    sender_address: str
+    recipient_name: str
+    recipient_address: str
+    subject: str
+    body: str
+    sent_at: datetime
+    topic: str
+
+    @property
+    def text(self) -> str:
+        return f"{self.subject}\n{self.body}"
+
+
+class CorpusMapper:
+    """Rewrites generated emails into a honey persona's mailbox.
+
+    A stable cast of correspondent personas is minted per mailbox so the
+    same corpus character always maps to the same fake correspondent, as in
+    the paper's recipient mapping.
+    """
+
+    def __init__(
+        self,
+        identity: HoneyIdentity,
+        config: MappingConfig,
+        rng: random.Random,
+    ) -> None:
+        self._identity = identity
+        self._config = config
+        self._rng = rng
+        self._name_map: dict[str, tuple[str, str]] = {}
+        self._company_re: re.Pattern[str] | None = None
+
+    def _map_character(self, corpus_name: str) -> tuple[str, str]:
+        """Map a corpus character to a stable (name, address) pair."""
+        if corpus_name not in self._name_map:
+            first = corpus_name.split()[0]
+            alias_last = self._rng.choice(
+                ("Hart", "Brooks", "Foster", "Hayes", "Reyes", "Warren",
+                 "Dunn", "Pierce", "Sharp", "Boyd")
+            )
+            full = f"{first} {alias_last}"
+            address = (
+                f"{first.lower()}.{alias_last.lower()}@"
+                f"{self._config.company_name.lower()}-corp.com"
+            )
+            self._name_map[corpus_name] = (full, address)
+        return self._name_map[corpus_name]
+
+    def _rewrite_company(self, text: str, original_company: str) -> str:
+        if self._company_re is None:
+            self._company_re = re.compile(
+                re.escape(original_company), re.IGNORECASE
+            )
+        return self._company_re.sub(self._config.company_name, text)
+
+    def _shift_time(
+        self, sent_at: datetime, corpus_min: datetime, corpus_max: datetime
+    ) -> datetime:
+        """Linearly map the corpus timeline onto the recent history window."""
+        span = (corpus_max - corpus_min).total_seconds()
+        if span <= 0:
+            fraction = 1.0
+        else:
+            fraction = (sent_at - corpus_min).total_seconds() / span
+        window = timedelta(days=self._config.history_span_days)
+        start = self._config.populate_time - window
+        return start + fraction * window
+
+    def map_mailbox(
+        self, emails: list[GeneratedEmail], original_company: str
+    ) -> list[MappedEmail]:
+        """Rewrite a whole generated mailbox for this persona.
+
+        Every corpus email becomes mail *received by* the persona: the
+        corpus recipient is replaced by the honey identity, senders become
+        stable fake correspondents, company mentions are rewritten, and
+        dates are refreshed into the recent-history window.
+        """
+        if not emails:
+            return []
+        corpus_min = min(e.sent_at for e in emails)
+        corpus_max = max(e.sent_at for e in emails)
+        mapped: list[MappedEmail] = []
+        for email in emails:
+            sender_name, sender_address = self._map_character(
+                email.sender_name
+            )
+            subject = self._rewrite_company(email.subject, original_company)
+            body = self._rewrite_company(email.body, original_company)
+            body = body.replace(email.sender_name, sender_name)
+            body = body.replace(
+                email.recipient_name, self._identity.full_name
+            )
+            mapped.append(
+                MappedEmail(
+                    sender_name=sender_name,
+                    sender_address=sender_address,
+                    recipient_name=self._identity.full_name,
+                    recipient_address=self._identity.address,
+                    subject=subject,
+                    body=body,
+                    sent_at=self._shift_time(
+                        email.sent_at, corpus_min, corpus_max
+                    ),
+                    topic=email.topic,
+                )
+            )
+        mapped.sort(key=lambda e: e.sent_at)
+        return mapped

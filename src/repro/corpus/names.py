@@ -1,0 +1,52 @@
+"""Popular first and last names for honey personas.
+
+The paper assigns each honey account "random combinations of popular first
+and last names" (following Stringhini et al., ACSAC 2010).  These lists are
+drawn from public name-frequency data.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "John", "Robert", "Michael", "William", "David", "Richard",
+    "Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew",
+    "Anthony", "Donald", "Mark", "Paul", "Steven", "Andrew", "Kenneth",
+    "George", "Joshua", "Kevin", "Brian", "Edward", "Ronald", "Timothy",
+    "Jason", "Jeffrey", "Ryan", "Mary", "Patricia", "Jennifer", "Linda",
+    "Elizabeth", "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Nancy",
+    "Lisa", "Margaret", "Betty", "Sandra", "Ashley", "Dorothy", "Kimberly",
+    "Emily", "Donna", "Michelle", "Carol", "Amanda", "Melissa", "Deborah",
+    "Stephanie", "Rebecca", "Laura", "Sharon", "Cynthia",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Parker",
+    "Collins", "Edwards", "Stewart", "Morris", "Murphy",
+)
+
+
+def random_identity_name(rng: random.Random) -> tuple[str, str]:
+    """Draw a (first, last) name pair uniformly from the popular-name lists."""
+    return rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)
+
+
+def handle_for(first: str, last: str, suffix: int | None = None) -> str:
+    """Build an email local-part from a name, optionally disambiguated.
+
+    Example:
+        >>> handle_for("Mary", "Walker", 7)
+        'mary.walker7'
+    """
+    base = f"{first.lower()}.{last.lower()}"
+    if suffix is None:
+        return base
+    return f"{base}{suffix}"

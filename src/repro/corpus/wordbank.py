@@ -1,0 +1,121 @@
+"""Vocabulary banks for the synthetic corporate corpus.
+
+The word banks are engineered so the corpus reproduces the statistical
+structure Table 2 depends on:
+
+* ``CORE_BUSINESS`` words ("transfer", "please", "company", "energy",
+  "power", ...) pervade the whole corpus — they dominate tfidf_A;
+* ``SENSITIVE_FINANCIAL`` and ``SENSITIVE_PERSONAL`` words ("payment",
+  "account", "seller", "family", ...) are rare overall but concentrated in
+  a small fraction of emails — exactly the emails gold-digger searches
+  surface, which drives tfidf_R − tfidf_A positive for them;
+* ``BITCOIN_TERMS`` never occur in the seeded corpus (the paper notes the
+  Enron dataset predates Bitcoin); they enter via blackmailer drafts.
+"""
+
+from __future__ import annotations
+
+#: Words pervading every topic; candidates for top-tfidf_A (Table 2 right).
+CORE_BUSINESS: tuple[str, ...] = (
+    "transfer", "please", "original", "company", "would", "energy",
+    "information", "about", "email", "power", "market", "contract",
+    "schedule", "meeting", "report", "project", "agreement", "review",
+    "update", "request",
+)
+
+#: Rare, finance-sensitive words gold diggers hunt for (Table 2 left).
+SENSITIVE_FINANCIAL: tuple[str, ...] = (
+    "payment", "account", "seller", "results", "below", "listed",
+    "invoice", "statement", "balance", "wires", "credit", "banking",
+    "password", "credentials", "routing", "deposit",
+)
+
+#: Rare personal words (the "family" cluster in Table 2).
+SENSITIVE_PERSONAL: tuple[str, ...] = (
+    "family", "personal", "vacation", "birthday", "address", "phone",
+    "mother", "sister", "wedding", "insurance",
+)
+
+#: Introduced only by the Ashley-Madison blackmailer case study.
+BITCOIN_TERMS: tuple[str, ...] = (
+    "bitcoin", "bitcoins", "localbitcoins", "wallet", "ransom",
+)
+
+#: Filler verbs/objects for sentence templates (all >= 5 chars so they
+#: survive the paper's length filter and add realistic bulk).
+GENERAL_FILLER: tuple[str, ...] = (
+    "discuss", "attached", "regarding", "forward", "confirm", "receive",
+    "provide", "complete", "approve", "deliver", "support", "system",
+    "office", "number", "detail", "question", "change", "issue",
+    "morning", "afternoon", "tomorrow", "yesterday", "group", "team",
+    "customer", "service", "price", "volume", "supply", "demand",
+)
+
+#: Topic definitions: (name, base weight, topic-specific vocabulary).
+#: Weights control how often each topic is drawn for an email.
+TOPICS: tuple[tuple[str, float, tuple[str, ...]], ...] = (
+    (
+        "trading",
+        0.30,
+        (
+            "trading", "position", "curve", "settle", "desk", "hedge",
+            "gas", "megawatt", "pipeline", "capacity", "nomination",
+        ),
+    ),
+    (
+        "operations",
+        0.25,
+        (
+            "outage", "plant", "turbine", "maintenance", "grid",
+            "transmission", "generation", "station", "dispatch",
+        ),
+    ),
+    (
+        "corporate",
+        0.20,
+        (
+            "board", "legal", "counsel", "policy", "filing", "audit",
+            "compliance", "merger", "restructure", "announcement",
+        ),
+    ),
+    (
+        "scheduling",
+        0.13,
+        (
+            "calendar", "conference", "travel", "flight", "hotel",
+            "agenda", "minutes", "location", "available", "reschedule",
+        ),
+    ),
+    (
+        "finance",
+        0.07,
+        SENSITIVE_FINANCIAL,
+    ),
+    (
+        "personal",
+        0.05,
+        SENSITIVE_PERSONAL,
+    ),
+)
+
+
+def topic_names() -> tuple[str, ...]:
+    """Names of all corpus topics, in definition order."""
+    return tuple(name for name, _, _ in TOPICS)
+
+
+def topic_weights() -> tuple[float, ...]:
+    """Sampling weights aligned with :func:`topic_names`."""
+    return tuple(weight for _, weight, _ in TOPICS)
+
+
+def topic_vocabulary(name: str) -> tuple[str, ...]:
+    """Topic-specific vocabulary for ``name``.
+
+    Raises:
+        KeyError: if the topic is unknown.
+    """
+    for topic, _, vocab in TOPICS:
+        if topic == name:
+            return vocab
+    raise KeyError(f"unknown topic {name!r}; known: {topic_names()}")

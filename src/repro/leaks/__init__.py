@@ -1,0 +1,27 @@
+"""Credential-leak outlets: paste sites, underground forums, malware.
+
+Each outlet model captures the properties the paper's measurement keys on:
+how broad the audience is, how fast credentials propagate to attackers,
+and what additional decoy information travels with the leak.  The malware
+"outlet" is different in kind — credentials reach exactly one botmaster via
+the sandbox infrastructure in :mod:`repro.malwaresim`.
+"""
+
+from repro.leaks.formats import LeakContent, render_paste
+from repro.leaks.forums import ForumPost, ForumReply, UndergroundForum
+from repro.leaks.malware import MalwareLeakChannel
+from repro.leaks.outlet import LeakEvent, LeakLedger
+from repro.leaks.pastesites import Paste, PasteSite
+
+__all__ = [
+    "ForumPost",
+    "ForumReply",
+    "LeakContent",
+    "LeakEvent",
+    "LeakLedger",
+    "MalwareLeakChannel",
+    "Paste",
+    "PasteSite",
+    "UndergroundForum",
+    "render_paste",
+]

@@ -1,0 +1,83 @@
+"""Leak content formats.
+
+Section 3.2: some groups leak bare username/password pairs; others add the
+persona's location ("near London, UK" or Midwestern US cities) and date of
+birth.  :class:`LeakContent` is the structured form; :func:`render_paste`
+produces the text that would be pasted or posted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.core.groups import LocationHint
+from repro.corpus.identity import HoneyIdentity
+from repro.webmail.account import Credentials
+
+
+@dataclass(frozen=True)
+class LeakContent:
+    """What is actually disclosed about one account in a leak."""
+
+    credentials: Credentials
+    location_hint: LocationHint
+    advertised_city: str | None
+    advertised_country: str | None
+    date_of_birth: date | None
+
+    @property
+    def has_location(self) -> bool:
+        return self.advertised_city is not None
+
+
+def leak_content_for(
+    identity: HoneyIdentity,
+    credentials: Credentials,
+    location_hint: LocationHint,
+) -> LeakContent:
+    """Build the leak content for one honey account.
+
+    Location and date of birth are included only for the with-location
+    groups, drawn from the persona (whose home city was minted in the
+    advertised region).
+    """
+    if location_hint is LocationHint.NONE or identity.home_city is None:
+        return LeakContent(
+            credentials=credentials,
+            location_hint=location_hint,
+            advertised_city=None,
+            advertised_country=None,
+            date_of_birth=None,
+        )
+    return LeakContent(
+        credentials=credentials,
+        location_hint=location_hint,
+        advertised_city=identity.home_city.name,
+        advertised_country=identity.home_city.country,
+        date_of_birth=identity.date_of_birth,
+    )
+
+
+def render_paste(contents: list[LeakContent], *, teaser: bool = False) -> str:
+    """Render leak contents as paste/forum text.
+
+    With ``teaser=True`` the text mimics the underground-forum modus
+    operandi the paper borrowed from Stone-Gross et al.: a free sample
+    plus a promise of more accounts for a fee.
+    """
+    lines: list[str] = []
+    if teaser:
+        lines.append("fresh mail accounts — free sample below, 900+ more for sale")
+        lines.append("")
+    for content in contents:
+        row = f"{content.credentials.address}:{content.credentials.password}"
+        if content.has_location:
+            row += f" | {content.advertised_city}, {content.advertised_country}"
+            if content.date_of_birth is not None:
+                row += f" | dob {content.date_of_birth.isoformat()}"
+        lines.append(row)
+    if teaser:
+        lines.append("")
+        lines.append("pm for the full dump")
+    return "\n".join(lines)

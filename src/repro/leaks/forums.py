@@ -1,0 +1,176 @@
+"""Underground-forum outlet model.
+
+The paper leaked credentials as free "teasers" on four open underground
+forums, mimicking the modus operandi documented by Stone-Gross et al.:
+post a small sample to prove the goods are real, promise the full dump
+for a fee, and ignore follow-ups.  The forum accounts received inquiry
+replies the authors logged but never answered.
+
+:class:`UndergroundForum` models registration, thread posting, replies
+(inquiries), and an audience profile that the attacker population
+samples arrival times from.  Forum audiences are smaller than paste-site
+ones but contain a higher share of gold-diggers (Figure 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import LeakError
+
+_post_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ForumProfile:
+    """Audience parameters of one forum."""
+
+    audience_rate: float
+    propagation_median_days: float
+    inquiry_rate: float  # expected inquiry replies per thread
+
+    def __post_init__(self) -> None:
+        if self.audience_rate < 0 or self.inquiry_rate < 0:
+            raise LeakError("rates must be non-negative")
+        if self.propagation_median_days <= 0:
+            raise LeakError("propagation_median_days must be positive")
+
+
+FORUM_PROFILES: dict[str, ForumProfile] = {
+    "offensivecommunity.net": ForumProfile(
+        audience_rate=1.7, propagation_median_days=9.0, inquiry_rate=1.2
+    ),
+    "bestblackhatforums.eu": ForumProfile(
+        audience_rate=1.3, propagation_median_days=11.0, inquiry_rate=0.8
+    ),
+    "hackforums.net": ForumProfile(
+        audience_rate=2.0, propagation_median_days=7.0, inquiry_rate=1.6
+    ),
+    "blackhatworld.com": ForumProfile(
+        audience_rate=1.2, propagation_median_days=10.0, inquiry_rate=1.0
+    ),
+}
+
+_INQUIRY_TEMPLATES: tuple[str, ...] = (
+    "how many accounts total? interested in bulk",
+    "are these aged? need inbox history",
+    "pm me price for the full list",
+    "sample works, what payment do you take?",
+    "do you have more from the same dump?",
+)
+
+
+@dataclass(frozen=True)
+class ForumReply:
+    """An inquiry reply to a teaser thread (logged, never answered)."""
+
+    author: str
+    text: str
+    posted_at: float
+
+
+@dataclass
+class ForumPost:
+    """A teaser thread posted by the researchers' throwaway account."""
+
+    post_id: str
+    forum: str
+    author: str
+    text: str
+    posted_at: float
+    account_addresses: tuple[str, ...]
+    replies: list[ForumReply] = field(default_factory=list)
+
+
+@dataclass
+class UndergroundForum:
+    """An open underground forum (free registration, public threads)."""
+
+    name: str
+    profile: ForumProfile
+    _members: set[str] = field(default_factory=set)
+    _posts: list[ForumPost] = field(default_factory=list)
+
+    @classmethod
+    def from_name(cls, name: str) -> "UndergroundForum":
+        try:
+            return cls(name=name, profile=FORUM_PROFILES[name])
+        except KeyError as exc:
+            raise LeakError(f"unknown forum {name!r}") from exc
+
+    def register(self, username: str) -> None:
+        """Register a member (the paper used freshly created accounts)."""
+        if username in self._members:
+            raise LeakError(f"username {username!r} already registered")
+        self._members.add(username)
+
+    def is_member(self, username: str) -> bool:
+        return username in self._members
+
+    def post_teaser(
+        self,
+        author: str,
+        text: str,
+        account_addresses: tuple[str, ...],
+        now: float,
+    ) -> ForumPost:
+        """Post a teaser thread.
+
+        Raises:
+            LeakError: if ``author`` is not registered.
+        """
+        if author not in self._members:
+            raise LeakError(f"{author!r} must register before posting")
+        post = ForumPost(
+            post_id=f"{self.name}-{next(_post_ids)}",
+            forum=self.name,
+            author=author,
+            text=text,
+            posted_at=now,
+            account_addresses=account_addresses,
+        )
+        self._posts.append(post)
+        return post
+
+    def generate_inquiries(
+        self, post: ForumPost, rng: random.Random, horizon_days: float = 30.0
+    ) -> list[ForumReply]:
+        """Sample the inquiry replies a teaser thread attracts.
+
+        The paper "logged the messages ... mostly inquiring about obtaining
+        the full dataset, but we did not follow up to them."
+        """
+        count = _poisson(rng, self.profile.inquiry_rate)
+        replies = []
+        for _ in range(count):
+            delay_days = rng.expovariate(1.0 / max(horizon_days / 4, 0.5))
+            replies.append(
+                ForumReply(
+                    author=f"user{rng.randrange(1000, 99999)}",
+                    text=rng.choice(_INQUIRY_TEMPLATES),
+                    posted_at=post.posted_at + delay_days * 86400.0,
+                )
+            )
+        post.replies.extend(replies)
+        return replies
+
+    @property
+    def posts(self) -> tuple[ForumPost, ...]:
+        return tuple(self._posts)
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler on a ``random.Random`` stream."""
+    if mean <= 0:
+        return 0
+    import math
+
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

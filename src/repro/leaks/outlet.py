@@ -1,0 +1,55 @@
+"""Common leak bookkeeping shared by all outlets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.groups import GroupSpec, OutletKind
+from repro.leaks.formats import LeakContent
+
+
+@dataclass(frozen=True)
+class LeakEvent:
+    """One account's credentials becoming available on one venue."""
+
+    content: LeakContent
+    group: GroupSpec
+    venue: str
+    leak_time: float
+
+    @property
+    def account_address(self) -> str:
+        return self.content.credentials.address
+
+    @property
+    def outlet(self) -> OutletKind:
+        return self.group.outlet
+
+
+@dataclass
+class LeakLedger:
+    """Registry of every leak event across all outlets."""
+
+    _events: list[LeakEvent] = field(default_factory=list)
+
+    def record(self, event: LeakEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[LeakEvent, ...]:
+        return tuple(self._events)
+
+    def events_for_outlet(self, outlet: OutletKind) -> tuple[LeakEvent, ...]:
+        return tuple(e for e in self._events if e.outlet is outlet)
+
+    def first_leak_time(self, account_address: str) -> float | None:
+        """The first moment an account's credentials appeared anywhere."""
+        times = [
+            e.leak_time
+            for e in self._events
+            if e.account_address == account_address
+        ]
+        return min(times) if times else None
+
+    def leaked_accounts(self) -> set[str]:
+        return {e.account_address for e in self._events}

@@ -1,0 +1,34 @@
+"""Internet substrate: addresses, geolocation, anonymisation, reputation.
+
+This package models the parts of the network the paper's measurement relies
+on: IPv4 addresses with a GeoIP-style database (``geo``), Tor exit nodes and
+open proxies that defeat geolocation (``anonymity``), a Spamhaus-style IP
+blacklist (``blacklist``), browser user-agent strings (``useragents``) and
+the OS-fingerprinting Google applies to logins (``fingerprint``).
+"""
+
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.netsim.blacklist import IPBlacklist
+from repro.netsim.cities import City, city_by_name, iter_cities
+from repro.netsim.geo import GeoDatabase, GeoLocation, haversine_km
+from repro.netsim.ipaddr import IPAddress, IPAllocator
+from repro.netsim.fingerprint import DeviceFingerprint, DeviceKind
+from repro.netsim.useragents import UserAgentFactory, parse_user_agent
+
+__all__ = [
+    "AnonymityNetwork",
+    "City",
+    "DeviceFingerprint",
+    "DeviceKind",
+    "GeoDatabase",
+    "GeoLocation",
+    "IPAddress",
+    "IPAllocator",
+    "IPBlacklist",
+    "OriginKind",
+    "UserAgentFactory",
+    "city_by_name",
+    "haversine_km",
+    "iter_cities",
+    "parse_user_agent",
+]

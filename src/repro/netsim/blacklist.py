@@ -1,0 +1,67 @@
+"""Spamhaus-style IP reputation blacklist.
+
+The paper checks every IP observed on the honey accounts against the
+Spamhaus blacklist and finds 20 hits, interpreting them as malware-infected
+machines used as stepping stones.  :class:`IPBlacklist` models a DNSBL-like
+lookup table that the experiment populates with the addresses of simulated
+infected hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.netsim.ipaddr import IPAddress
+
+
+@dataclass(frozen=True)
+class BlacklistEntry:
+    """One listed address and the reason it was listed."""
+
+    address: IPAddress
+    reason: str
+    listed_at: float  # sim-time of listing
+
+
+@dataclass
+class IPBlacklist:
+    """An append-only IP reputation list with point lookups.
+
+    Mirrors how the authors used Spamhaus: a set-membership oracle over the
+    IPs that accessed the honey accounts.
+    """
+
+    name: str = "spamhaus-sim"
+    _entries: dict[IPAddress, BlacklistEntry] = field(default_factory=dict)
+
+    def list_address(
+        self, address: IPAddress, *, reason: str, listed_at: float = 0.0
+    ) -> None:
+        """Add ``address`` to the blacklist (idempotent; first reason wins)."""
+        if address not in self._entries:
+            self._entries[address] = BlacklistEntry(address, reason, listed_at)
+
+    def extend(
+        self, addresses: Iterable[IPAddress], *, reason: str, listed_at: float = 0.0
+    ) -> None:
+        """List every address in ``addresses``."""
+        for address in addresses:
+            self.list_address(address, reason=reason, listed_at=listed_at)
+
+    def __contains__(self, address: IPAddress) -> bool:
+        return address in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BlacklistEntry]:
+        return iter(self._entries.values())
+
+    def lookup(self, address: IPAddress) -> BlacklistEntry | None:
+        """Return the entry for ``address`` or ``None``."""
+        return self._entries.get(address)
+
+    def hits(self, addresses: Iterable[IPAddress]) -> list[IPAddress]:
+        """The subset of ``addresses`` present on the list (stable order)."""
+        return [a for a in addresses if a in self._entries]

@@ -1,0 +1,230 @@
+"""City database used by the synthetic GeoIP system.
+
+Coordinates are public factual data (rounded to two decimals).  The set is
+chosen to cover the regions the paper's analysis needs:
+
+* London and a ring of UK/European cities (the "UK midpoint" experiments);
+* Pontiac, IL and the US Midwest (the "US midpoint" experiments);
+* a worldwide spread across ~40 countries, matching the paper's
+  observation of accesses from 29 countries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with coordinates, used for geolocating simulated logins."""
+
+    name: str
+    country: str  # ISO-3166 alpha-2
+    latitude: float
+    longitude: float
+    region: str  # coarse bucket used when sampling origins
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        return (self.latitude, self.longitude)
+
+
+# region buckets: uk, us_midwest, us_other, europe, russia_cis, asia,
+# americas, africa_mideast, oceania
+_CITY_ROWS: tuple[tuple[str, str, float, float, str], ...] = (
+    # --- United Kingdom -------------------------------------------------
+    ("London", "GB", 51.51, -0.13, "uk"),
+    ("Birmingham", "GB", 52.48, -1.90, "uk"),
+    ("Manchester", "GB", 53.48, -2.24, "uk"),
+    ("Leeds", "GB", 53.80, -1.55, "uk"),
+    ("Glasgow", "GB", 55.86, -4.25, "uk"),
+    ("Edinburgh", "GB", 55.95, -3.19, "uk"),
+    ("Bristol", "GB", 51.45, -2.59, "uk"),
+    ("Liverpool", "GB", 53.41, -2.98, "uk"),
+    ("Cambridge", "GB", 52.21, 0.12, "uk"),
+    ("Oxford", "GB", 51.75, -1.26, "uk"),
+    ("Reading", "GB", 51.45, -0.97, "uk"),
+    ("Croydon", "GB", 51.37, -0.10, "uk"),
+    ("Watford", "GB", 51.66, -0.40, "uk"),
+    ("Brighton", "GB", 50.82, -0.14, "uk"),
+    ("Cardiff", "GB", 51.48, -3.18, "uk"),
+    ("Belfast", "GB", 54.60, -5.93, "uk"),
+    # --- US Midwest (ring around Pontiac, IL) ---------------------------
+    ("Pontiac", "US", 40.88, -88.63, "us_midwest"),
+    ("Chicago", "US", 41.88, -87.63, "us_midwest"),
+    ("Bloomington", "US", 40.48, -88.99, "us_midwest"),
+    ("Peoria", "US", 40.69, -89.59, "us_midwest"),
+    ("Springfield", "US", 39.78, -89.65, "us_midwest"),
+    ("Champaign", "US", 40.12, -88.24, "us_midwest"),
+    ("Joliet", "US", 41.53, -88.08, "us_midwest"),
+    ("Rockford", "US", 42.27, -89.09, "us_midwest"),
+    ("Indianapolis", "US", 39.77, -86.16, "us_midwest"),
+    ("Milwaukee", "US", 43.04, -87.91, "us_midwest"),
+    ("St. Louis", "US", 38.63, -90.20, "us_midwest"),
+    ("Des Moines", "US", 41.59, -93.62, "us_midwest"),
+    ("Kansas City", "US", 39.10, -94.58, "us_midwest"),
+    ("Minneapolis", "US", 44.98, -93.27, "us_midwest"),
+    ("Detroit", "US", 42.33, -83.05, "us_midwest"),
+    ("Columbus", "US", 39.96, -83.00, "us_midwest"),
+    ("Cincinnati", "US", 39.10, -84.51, "us_midwest"),
+    ("Madison", "US", 43.07, -89.40, "us_midwest"),
+    ("Omaha", "US", 41.26, -95.93, "us_midwest"),
+    ("Cleveland", "US", 41.50, -81.69, "us_midwest"),
+    # --- US elsewhere ---------------------------------------------------
+    ("New York", "US", 40.71, -74.01, "us_other"),
+    ("Los Angeles", "US", 34.05, -118.24, "us_other"),
+    ("San Francisco", "US", 37.77, -122.42, "us_other"),
+    ("Seattle", "US", 47.61, -122.33, "us_other"),
+    ("Miami", "US", 25.76, -80.19, "us_other"),
+    ("Houston", "US", 29.76, -95.37, "us_other"),
+    ("Dallas", "US", 32.78, -96.80, "us_other"),
+    ("Atlanta", "US", 33.75, -84.39, "us_other"),
+    ("Denver", "US", 39.74, -104.99, "us_other"),
+    ("Phoenix", "US", 33.45, -112.07, "us_other"),
+    ("Boston", "US", 42.36, -71.06, "us_other"),
+    ("Washington", "US", 38.91, -77.04, "us_other"),
+    # --- Europe ----------------------------------------------------------
+    ("Paris", "FR", 48.86, 2.35, "europe"),
+    ("Marseille", "FR", 43.30, 5.37, "europe"),
+    ("Berlin", "DE", 52.52, 13.40, "europe"),
+    ("Frankfurt", "DE", 50.11, 8.68, "europe"),
+    ("Munich", "DE", 48.14, 11.58, "europe"),
+    ("Amsterdam", "NL", 52.37, 4.90, "europe"),
+    ("Rotterdam", "NL", 51.92, 4.48, "europe"),
+    ("Brussels", "BE", 50.85, 4.35, "europe"),
+    ("Madrid", "ES", 40.42, -3.70, "europe"),
+    ("Barcelona", "ES", 41.39, 2.17, "europe"),
+    ("Rome", "IT", 41.90, 12.50, "europe"),
+    ("Milan", "IT", 45.46, 9.19, "europe"),
+    ("Lisbon", "PT", 38.72, -9.14, "europe"),
+    ("Dublin", "IE", 53.35, -6.26, "europe"),
+    ("Vienna", "AT", 48.21, 16.37, "europe"),
+    ("Zurich", "CH", 47.37, 8.54, "europe"),
+    ("Stockholm", "SE", 59.33, 18.07, "europe"),
+    ("Oslo", "NO", 59.91, 10.75, "europe"),
+    ("Copenhagen", "DK", 55.68, 12.57, "europe"),
+    ("Helsinki", "FI", 60.17, 24.94, "europe"),
+    ("Warsaw", "PL", 52.23, 21.01, "europe"),
+    ("Prague", "CZ", 50.08, 14.44, "europe"),
+    ("Budapest", "HU", 47.50, 19.04, "europe"),
+    ("Bucharest", "RO", 44.43, 26.10, "europe"),
+    ("Sofia", "BG", 42.70, 23.32, "europe"),
+    ("Athens", "GR", 37.98, 23.73, "europe"),
+    ("Belgrade", "RS", 44.79, 20.45, "europe"),
+    ("Zagreb", "HR", 45.81, 15.98, "europe"),
+    ("Vilnius", "LT", 54.69, 25.28, "europe"),
+    ("Riga", "LV", 56.95, 24.11, "europe"),
+    # --- Russia / CIS ----------------------------------------------------
+    ("Moscow", "RU", 55.76, 37.62, "russia_cis"),
+    ("Saint Petersburg", "RU", 59.93, 30.34, "russia_cis"),
+    ("Novosibirsk", "RU", 55.03, 82.92, "russia_cis"),
+    ("Yekaterinburg", "RU", 56.84, 60.61, "russia_cis"),
+    ("Kyiv", "UA", 50.45, 30.52, "russia_cis"),
+    ("Kharkiv", "UA", 49.99, 36.23, "russia_cis"),
+    ("Minsk", "BY", 53.90, 27.57, "russia_cis"),
+    ("Chisinau", "MD", 47.01, 28.86, "russia_cis"),
+    ("Almaty", "KZ", 43.24, 76.89, "russia_cis"),
+    ("Tbilisi", "GE", 41.72, 44.79, "russia_cis"),
+    # --- Asia -------------------------------------------------------------
+    ("Beijing", "CN", 39.90, 116.41, "asia"),
+    ("Shanghai", "CN", 31.23, 121.47, "asia"),
+    ("Hong Kong", "HK", 22.32, 114.17, "asia"),
+    ("Tokyo", "JP", 35.68, 139.69, "asia"),
+    ("Seoul", "KR", 37.57, 126.98, "asia"),
+    ("Singapore", "SG", 1.35, 103.82, "asia"),
+    ("Mumbai", "IN", 19.08, 72.88, "asia"),
+    ("Delhi", "IN", 28.70, 77.10, "asia"),
+    ("Bangalore", "IN", 12.97, 77.59, "asia"),
+    ("Karachi", "PK", 24.86, 67.01, "asia"),
+    ("Dhaka", "BD", 23.81, 90.41, "asia"),
+    ("Jakarta", "ID", -6.21, 106.85, "asia"),
+    ("Manila", "PH", 14.60, 120.98, "asia"),
+    ("Bangkok", "TH", 13.76, 100.50, "asia"),
+    ("Hanoi", "VN", 21.03, 105.85, "asia"),
+    ("Kuala Lumpur", "MY", 3.14, 101.69, "asia"),
+    # --- Americas (non-US) ------------------------------------------------
+    ("Toronto", "CA", 43.65, -79.38, "americas"),
+    ("Vancouver", "CA", 49.28, -123.12, "americas"),
+    ("Montreal", "CA", 45.50, -73.57, "americas"),
+    ("Mexico City", "MX", 19.43, -99.13, "americas"),
+    ("Sao Paulo", "BR", -23.55, -46.63, "americas"),
+    ("Rio de Janeiro", "BR", -22.91, -43.17, "americas"),
+    ("Buenos Aires", "AR", -34.60, -58.38, "americas"),
+    ("Santiago", "CL", -33.45, -70.67, "americas"),
+    ("Bogota", "CO", 4.71, -74.07, "americas"),
+    ("Lima", "PE", -12.05, -77.04, "americas"),
+    # --- Africa / Middle East ----------------------------------------------
+    ("Lagos", "NG", 6.52, 3.38, "africa_mideast"),
+    ("Abuja", "NG", 9.06, 7.50, "africa_mideast"),
+    ("Cairo", "EG", 30.04, 31.24, "africa_mideast"),
+    ("Johannesburg", "ZA", -26.20, 28.05, "africa_mideast"),
+    ("Nairobi", "KE", -1.29, 36.82, "africa_mideast"),
+    ("Accra", "GH", 5.60, -0.19, "africa_mideast"),
+    ("Casablanca", "MA", 33.57, -7.59, "africa_mideast"),
+    ("Istanbul", "TR", 41.01, 28.98, "africa_mideast"),
+    ("Tel Aviv", "IL", 32.09, 34.78, "africa_mideast"),
+    ("Dubai", "AE", 25.20, 55.27, "africa_mideast"),
+    ("Riyadh", "SA", 24.71, 46.68, "africa_mideast"),
+    ("Tehran", "IR", 35.69, 51.39, "africa_mideast"),
+    # --- Oceania ------------------------------------------------------------
+    ("Sydney", "AU", -33.87, 151.21, "oceania"),
+    ("Melbourne", "AU", -37.81, 144.96, "oceania"),
+    ("Auckland", "NZ", -36.85, 174.76, "oceania"),
+)
+
+_CITIES: tuple[City, ...] = tuple(
+    City(name=n, country=c, latitude=lat, longitude=lon, region=r)
+    for (n, c, lat, lon, r) in _CITY_ROWS
+)
+_BY_NAME: dict[str, City] = {c.name.lower(): c for c in _CITIES}
+_BY_REGION: dict[str, tuple[City, ...]] = {}
+for _city in _CITIES:
+    _BY_REGION.setdefault(_city.region, ())
+_BY_REGION = {
+    region: tuple(c for c in _CITIES if c.region == region)
+    for region in _BY_REGION
+}
+
+#: Midpoints used by the paper's Figure 5 analysis.
+UK_MIDPOINT = _BY_NAME["london"]
+US_MIDPOINT = _BY_NAME["pontiac"]
+
+
+def iter_cities() -> Iterator[City]:
+    """Iterate over every city in the database (stable order)."""
+    return iter(_CITIES)
+
+
+def all_cities() -> tuple[City, ...]:
+    """The full city tuple (stable order, safe to index)."""
+    return _CITIES
+
+
+def city_by_name(name: str) -> City:
+    """Look up a city by case-insensitive name.
+
+    Raises:
+        KeyError: if the city is not in the database.
+    """
+    return _BY_NAME[name.lower()]
+
+
+def cities_in_region(region: str) -> tuple[City, ...]:
+    """All cities in a region bucket (e.g. ``"uk"``, ``"us_midwest"``)."""
+    try:
+        return _BY_REGION[region]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown region {region!r}; known: {sorted(_BY_REGION)}"
+        ) from exc
+
+
+def regions() -> tuple[str, ...]:
+    """All region bucket names."""
+    return tuple(sorted(_BY_REGION))
+
+
+def countries() -> tuple[str, ...]:
+    """All distinct country codes in the database."""
+    return tuple(sorted({c.country for c in _CITIES}))

@@ -1,0 +1,55 @@
+"""Device fingerprints as seen by the webmail provider.
+
+The Gmail activity page shows, per access: IP, geolocated city (when
+available), device class and browser — derived from the user agent and
+lower-level fingerprinting.  :class:`DeviceFingerprint` is the provider-side
+record; :func:`fingerprint_from_access` derives it from what a connection
+presents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netsim.useragents import UserAgentInfo, parse_user_agent
+
+
+class DeviceKind(enum.Enum):
+    """Coarse device classes surfaced in the account activity page."""
+
+    DESKTOP = "desktop"
+    ANDROID = "android"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class DeviceFingerprint:
+    """What the provider can say about the connecting device."""
+
+    kind: DeviceKind
+    os_family: str
+    browser: str
+    user_agent: str
+
+    @property
+    def is_empty_user_agent(self) -> bool:
+        """True when the client presented no UA (the malware-access marker)."""
+        return self.user_agent == ""
+
+
+def fingerprint_from_user_agent(raw_user_agent: str) -> DeviceFingerprint:
+    """Derive the provider-side fingerprint from a raw UA string."""
+    info: UserAgentInfo = parse_user_agent(raw_user_agent)
+    if info.is_empty:
+        kind = DeviceKind.UNKNOWN
+    elif info.is_mobile:
+        kind = DeviceKind.ANDROID
+    else:
+        kind = DeviceKind.DESKTOP
+    return DeviceFingerprint(
+        kind=kind,
+        os_family=info.os_family,
+        browser=info.browser,
+        user_agent=raw_user_agent,
+    )

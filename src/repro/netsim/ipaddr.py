@@ -1,0 +1,129 @@
+"""IPv4 addresses and deterministic allocation.
+
+Addresses are modelled as immutable 32-bit values with dotted-quad
+rendering.  :class:`IPAllocator` hands out unique addresses from designated
+regional pools so geolocation stays consistent: each simulated city owns a
+handful of /16 prefixes, and anonymity infrastructure (Tor exits, proxies)
+draws from separate pools.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An IPv4 address as an immutable 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ConfigurationError(f"not a 32-bit IPv4 value: {self.value}")
+
+    @classmethod
+    def from_string(cls, dotted: str) -> "IPAddress":
+        """Parse dotted-quad notation, e.g. ``"192.0.2.7"``."""
+        parts = dotted.strip().split(".")
+        if len(parts) != 4:
+            raise ConfigurationError(f"malformed IPv4 address: {dotted!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"malformed IPv4 address: {dotted!r}"
+                ) from exc
+            if not 0 <= octet <= 255:
+                raise ConfigurationError(f"octet out of range in {dotted!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_octets(cls, a: int, b: int, c: int, d: int) -> "IPAddress":
+        return cls.from_string(f"{a}.{b}.{c}.{d}")
+
+    @property
+    def octets(self) -> tuple[int, int, int, int]:
+        v = self.value
+        return ((v >> 24) & 255, (v >> 16) & 255, (v >> 8) & 255, v & 255)
+
+    @property
+    def prefix16(self) -> int:
+        """The /16 network containing this address (top 16 bits)."""
+        return self.value >> 16
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IPAddress({str(self)!r})"
+
+
+class IPAllocator:
+    """Allocates unique IPv4 addresses from named /16 pools.
+
+    Pools are registered with :meth:`register_pool`; allocation picks a
+    random host part inside a random prefix of the pool, retrying on
+    collision.  All draws come from the injected RNG, so allocation is
+    deterministic for a fixed seed.
+    """
+
+    _HOSTS_PER_PREFIX = 65_536
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._pools: dict[str, list[int]] = {}
+        self._allocated: set[int] = set()
+
+    def register_pool(self, name: str, prefixes: list[int]) -> None:
+        """Register pool ``name`` backed by the given /16 prefixes."""
+        if name in self._pools:
+            raise ConfigurationError(f"pool {name!r} already registered")
+        if not prefixes:
+            raise ConfigurationError(f"pool {name!r} needs at least one prefix")
+        for prefix in prefixes:
+            if not 0 <= prefix <= 0xFFFF:
+                raise ConfigurationError(f"invalid /16 prefix: {prefix}")
+        self._pools[name] = list(prefixes)
+
+    def has_pool(self, name: str) -> bool:
+        return name in self._pools
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self, pool: str) -> IPAddress:
+        """Return a fresh address from ``pool``.
+
+        Raises:
+            ConfigurationError: if the pool is unknown or exhausted.
+        """
+        try:
+            prefixes = self._pools[pool]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown IP pool {pool!r}") from exc
+        capacity = len(prefixes) * self._HOSTS_PER_PREFIX
+        for _ in range(10_000):
+            prefix = self._rng.choice(prefixes)
+            host = self._rng.randrange(1, self._HOSTS_PER_PREFIX - 1)
+            value = (prefix << 16) | host
+            if value not in self._allocated:
+                self._allocated.add(value)
+                return IPAddress(value)
+        raise ConfigurationError(
+            f"pool {pool!r} looks exhausted (capacity {capacity})"
+        )
+
+    def pool_of(self, address: IPAddress) -> str | None:
+        """Return the pool name owning ``address``, if any."""
+        for name, prefixes in self._pools.items():
+            if address.prefix16 in prefixes:
+                return name
+        return None

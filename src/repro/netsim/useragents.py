@@ -1,0 +1,188 @@
+"""Browser user-agent strings: generation and parsing.
+
+Section 4.4 of the paper keys on two observations: malware-outlet accesses
+always presented an *empty* user agent (defeating browser fingerprinting),
+while paste-site and forum accesses came from the popular browsers, with a
+fraction of Android devices.  This module builds plausible UA strings for
+(browser, OS) combinations and parses them back, which is what the
+simulated Gmail activity page records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Browsers available to simulated attackers, with 2015-era version pools.
+_BROWSER_VERSIONS: dict[str, tuple[str, ...]] = {
+    "chrome": ("43.0.2357", "44.0.2403", "45.0.2454", "46.0.2490", "47.0.2526"),
+    "firefox": ("38.0", "39.0", "40.0", "41.0", "42.0"),
+    "safari": ("8.0.7", "9.0", "9.0.1"),
+    "ie": ("10.0", "11.0"),
+    "opera": ("30.0", "31.0", "32.0"),
+}
+
+_DESKTOP_OS_TOKENS: dict[str, str] = {
+    "windows7": "Windows NT 6.1; WOW64",
+    "windows8": "Windows NT 6.3; WOW64",
+    "windows10": "Windows NT 10.0; Win64; x64",
+    "macos": "Macintosh; Intel Mac OS X 10_10_4",
+    "linux": "X11; Linux x86_64",
+}
+
+_ANDROID_DEVICES: tuple[str, ...] = (
+    "Nexus 5 Build/LMY48B",
+    "Nexus 7 Build/LMY47V",
+    "SM-G920F Build/LMY47X",
+    "GT-I9505 Build/LRX22C",
+    "HTC One_M8 Build/LRX22G",
+)
+
+_OS_LABELS: dict[str, str] = {
+    "windows7": "Windows",
+    "windows8": "Windows",
+    "windows10": "Windows",
+    "macos": "Mac OS X",
+    "linux": "Linux",
+    "android": "Android",
+}
+
+
+@dataclass(frozen=True)
+class UserAgentInfo:
+    """Parsed view of a user-agent string, as a fingerprinter would see it."""
+
+    raw: str
+    browser: str  # "chrome", "firefox", ... or "unknown"
+    os_family: str  # "Windows", "Mac OS X", "Linux", "Android" or "unknown"
+    is_mobile: bool
+    is_empty: bool
+
+
+def build_user_agent(browser: str, os_key: str, version: str) -> str:
+    """Assemble a UA string for a (browser, OS, version) combination."""
+    if os_key == "android":
+        device = _ANDROID_DEVICES[0]
+        platform = f"Linux; Android 5.1.1; {device}"
+    else:
+        try:
+            platform = _DESKTOP_OS_TOKENS[os_key]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown OS key {os_key!r}") from exc
+    if browser == "chrome":
+        return (
+            f"Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/{version} Safari/537.36"
+        )
+    if browser == "firefox":
+        return f"Mozilla/5.0 ({platform}; rv:{version}) Gecko/20100101 Firefox/{version}"
+    if browser == "safari":
+        return (
+            f"Mozilla/5.0 ({platform}) AppleWebKit/600.7.12 (KHTML, like Gecko) "
+            f"Version/{version} Safari/600.7.12"
+        )
+    if browser == "ie":
+        return f"Mozilla/5.0 ({platform}; Trident/7.0; rv:{version}) like Gecko"
+    if browser == "opera":
+        return (
+            f"Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/44.0.2403 Safari/537.36 OPR/{version}"
+        )
+    raise ConfigurationError(f"unknown browser {browser!r}")
+
+
+def parse_user_agent(raw: str) -> UserAgentInfo:
+    """Parse a UA string into the fields Google's activity page shows.
+
+    An empty string parses to the "empty UA" marker the paper reports for
+    malware-outlet accesses.
+    """
+    if not raw:
+        return UserAgentInfo(
+            raw="", browser="unknown", os_family="unknown",
+            is_mobile=False, is_empty=True,
+        )
+    lowered = raw.lower()
+    is_mobile = "android" in lowered
+    if "android" in lowered:
+        os_family = "Android"
+    elif "windows nt" in lowered:
+        os_family = "Windows"
+    elif "mac os x" in lowered:
+        os_family = "Mac OS X"
+    elif "linux" in lowered:
+        os_family = "Linux"
+    else:
+        os_family = "unknown"
+    if "opr/" in lowered:
+        browser = "opera"
+    elif "chrome/" in lowered:
+        browser = "chrome"
+    elif "firefox/" in lowered:
+        browser = "firefox"
+    elif "trident/" in lowered or "msie" in lowered:
+        browser = "ie"
+    elif "safari/" in lowered:
+        browser = "safari"
+    else:
+        browser = "unknown"
+    return UserAgentInfo(
+        raw=raw, browser=browser, os_family=os_family,
+        is_mobile=is_mobile, is_empty=False,
+    )
+
+
+class UserAgentFactory:
+    """Draws UA strings from 2015-era browser/OS popularity mixes."""
+
+    _DESKTOP_BROWSER_WEIGHTS: tuple[tuple[str, float], ...] = (
+        ("chrome", 0.48), ("firefox", 0.22), ("ie", 0.16),
+        ("safari", 0.09), ("opera", 0.05),
+    )
+    _DESKTOP_OS_WEIGHTS: tuple[tuple[str, float], ...] = (
+        ("windows7", 0.45), ("windows8", 0.20), ("windows10", 0.12),
+        ("macos", 0.15), ("linux", 0.08),
+    )
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def _weighted(self, table: tuple[tuple[str, float], ...]) -> str:
+        keys = [k for k, _ in table]
+        weights = [w for _, w in table]
+        return self._rng.choices(keys, weights=weights, k=1)[0]
+
+    def desktop(self) -> str:
+        """A UA string for a desktop browser."""
+        browser = self._weighted(self._DESKTOP_BROWSER_WEIGHTS)
+        os_key = self._weighted(self._DESKTOP_OS_WEIGHTS)
+        if browser == "safari" and not os_key.startswith("mac"):
+            os_key = "macos"
+        if browser == "ie" and not os_key.startswith("windows"):
+            os_key = "windows7"
+        version = self._rng.choice(_BROWSER_VERSIONS[browser])
+        return build_user_agent(browser, os_key, version)
+
+    def android(self) -> str:
+        """A UA string for an Android device (Chrome mobile)."""
+        device = self._rng.choice(_ANDROID_DEVICES)
+        version = self._rng.choice(_BROWSER_VERSIONS["chrome"])
+        return (
+            f"Mozilla/5.0 (Linux; Android 5.1.1; {device}) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/{version} Mobile Safari/537.36"
+        )
+
+    def empty(self) -> str:
+        """The empty UA used by non-browser tooling (malware operators)."""
+        return ""
+
+    def sample(self, *, android_fraction: float = 0.0) -> str:
+        """Draw a UA: Android with the given probability, else desktop."""
+        if not 0.0 <= android_fraction <= 1.0:
+            raise ConfigurationError("android_fraction must be in [0, 1]")
+        if self._rng.random() < android_fraction:
+            return self.android()
+        return self.desktop()

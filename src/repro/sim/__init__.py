@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+The whole reproduction runs on a single deterministic timeline managed by
+:class:`~repro.sim.engine.Simulator`.  Components schedule callbacks on the
+shared event queue, read the clock through :class:`~repro.sim.clock.SimClock`
+and draw randomness from RNG streams derived with
+:func:`~repro.sim.rng.derive_rng`, which keeps every subsystem independent
+and reproducible.
+"""
+
+from repro.sim.clock import (
+    EXPERIMENT_EPOCH,
+    SimClock,
+    days,
+    from_datetime,
+    hours,
+    minutes,
+    to_datetime,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import SeedSequence, derive_rng, derive_seed
+
+__all__ = [
+    "EXPERIMENT_EPOCH",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "SeedSequence",
+    "SimClock",
+    "Simulator",
+    "days",
+    "derive_rng",
+    "derive_seed",
+    "from_datetime",
+    "hours",
+    "minutes",
+    "to_datetime",
+]

@@ -1,0 +1,88 @@
+"""Simulation time.
+
+Simulation time is a float number of **seconds** since the experiment epoch,
+2015-06-25T00:00:00 UTC — the day the paper started leaking credentials.
+Helpers convert between sim-seconds and :class:`datetime.datetime`, and the
+:func:`minutes` / :func:`hours` / :func:`days` helpers keep schedule code
+readable.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+#: The instant at which the measurement in the paper begins (t = 0.0).
+EXPERIMENT_EPOCH = datetime(2015, 6, 25, 0, 0, 0, tzinfo=timezone.utc)
+
+_SECONDS_PER_MINUTE = 60.0
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+
+
+def minutes(value: float) -> float:
+    """Return ``value`` minutes expressed in sim-seconds."""
+    return value * _SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Return ``value`` hours expressed in sim-seconds."""
+    return value * _SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Return ``value`` days expressed in sim-seconds."""
+    return value * _SECONDS_PER_DAY
+
+
+def to_datetime(sim_time: float) -> datetime:
+    """Convert sim-seconds to an aware UTC :class:`datetime`."""
+    return EXPERIMENT_EPOCH + timedelta(seconds=sim_time)
+
+
+def from_datetime(moment: datetime) -> float:
+    """Convert an aware :class:`datetime` to sim-seconds.
+
+    Naive datetimes are assumed to be UTC, matching how the paper reports
+    wall-clock dates.
+    """
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    return (moment - EXPERIMENT_EPOCH).total_seconds()
+
+
+class SimClock:
+    """Monotonic simulation clock owned by the engine.
+
+    The clock only moves forward, driven by the event loop; components hold
+    a reference to it and read :attr:`now` when stamping records.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds since the epoch."""
+        return self._now
+
+    @property
+    def now_datetime(self) -> datetime:
+        """Current simulation time as an aware UTC datetime."""
+        return to_datetime(self._now)
+
+    def advance_to(self, new_time: float) -> None:
+        """Move the clock forward to ``new_time``.
+
+        Raises:
+            ValueError: if ``new_time`` is earlier than the current time.
+        """
+        if new_time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {new_time} < {self._now}"
+            )
+        self._now = float(new_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now!r}, utc={self.now_datetime.isoformat()})"

@@ -1,0 +1,171 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event queue, and exposes the small
+scheduling API the rest of the library is written against: ``schedule`` /
+``schedule_at`` / ``run_until``.  Exceptions raised by callbacks propagate by
+default so simulation bugs fail loudly; tests can install an error handler
+to collect failures instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventCallback, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes:
+        clock: the shared :class:`SimClock`; components read ``clock.now``.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimClock(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+        self._error_handler: Callable[[Event, Exception], None] | None = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds since the experiment epoch)."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for diagnostics and tests)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {label!r} with negative delay {delay}"
+            )
+        return self._queue.push(
+            self.clock.now + delay, callback, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute sim-time ``time``."""
+        if time < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule {label!r} in the past: {time} < {self.clock.now}"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self._queue.cancel(event)
+
+    def set_error_handler(
+        self, handler: Callable[[Event, Exception], None] | None
+    ) -> None:
+        """Install a handler for callback exceptions (``None`` re-raises)."""
+        self._error_handler = handler
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Execute the next event and return it.
+
+        Raises:
+            SchedulingError: when the queue is empty.
+        """
+        event = self._queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        try:
+            event.callback()
+        except Exception as exc:  # noqa: BLE001 - routed to handler
+            if self._error_handler is None:
+                raise
+            self._error_handler(event, exc)
+        return event
+
+    def run_until(self, end_time: float, *, max_events: int | None = None) -> int:
+        """Run events until ``end_time`` (inclusive) and advance the clock there.
+
+        Args:
+            end_time: absolute sim-time to run to.
+            max_events: optional safety cap on executed events.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        if end_time < self.clock.now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self.clock.now}"
+            )
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"run_until exceeded max_events={max_events}"
+                    )
+            self.clock.advance_to(end_time)
+        finally:
+            self._running = False
+        return executed
+
+    def run_all(self, *, max_events: int = 10_000_000) -> int:
+        """Run until the queue empties; returns the number of events fired."""
+        executed = 0
+        while self._queue:
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"run_all exceeded max_events={max_events}")
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self.clock.now}, pending={len(self._queue)}, "
+            f"fired={self._events_fired})"
+        )
+
+
+def run_simulation(sim: Simulator, end_time: float) -> dict[str, Any]:
+    """Run ``sim`` to ``end_time`` and return a small execution summary."""
+    executed = sim.run_until(end_time)
+    return {
+        "end_time": sim.now,
+        "events_executed": executed,
+        "events_pending": sim.pending_events,
+    }

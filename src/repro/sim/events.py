@@ -1,0 +1,113 @@
+"""Event queue for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+instant with the same priority fire in scheduling order, which is essential
+for reproducible runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import SchedulingError
+
+#: Callbacks receive no arguments; closures capture whatever context they need.
+EventCallback = Callable[[], Any]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute sim-time at which the event fires.
+        priority: tie-breaker; lower fires first at equal times.
+        sequence: insertion counter providing total, deterministic order.
+        callback: zero-argument callable executed by the engine.
+        label: human-readable tag used in traces and error messages.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic binary-heap event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time`` and return the event."""
+        if not callable(callback):
+            raise SchedulingError(f"callback for {label!r} is not callable")
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SchedulingError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove all live events in firing order (for inspection)."""
+        while self:
+            yield self.pop()

@@ -1,0 +1,95 @@
+"""Recurring processes on the simulation timeline.
+
+The monitoring infrastructure in the paper is built from periodic jobs: the
+Apps Script scan fires every 10 minutes, the heartbeat once a day, and the
+activity-page scraper on its own cadence.  :class:`PeriodicProcess` captures
+that pattern once: a callback re-scheduled at a fixed period, with optional
+jitter so concurrent processes do not fire in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class PeriodicProcess:
+    """A callback that fires every ``period`` seconds until stopped.
+
+    Args:
+        sim: the simulator to schedule on.
+        period: interval between firings, in sim-seconds.
+        callback: zero-argument callable invoked at each tick.
+        start_delay: delay before the first firing (default one period).
+        jitter: maximum +/- uniform jitter applied to each interval.
+        rng: RNG used for jitter; required when ``jitter`` > 0.
+        label: label attached to scheduled events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: float | None = None,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+        label: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise SchedulingError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise SchedulingError("jitter requires an explicit rng")
+        if jitter >= period:
+            raise SchedulingError("jitter must be smaller than the period")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._jitter = float(jitter)
+        self._rng = rng
+        self._label = label
+        self._event: Event | None = None
+        self._stopped = False
+        self.ticks = 0
+        first_delay = self._period if start_delay is None else float(start_delay)
+        self._event = sim.schedule(first_delay, self._fire, label=label)
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _next_interval(self) -> float:
+        if self._jitter <= 0:
+            return self._period
+        assert self._rng is not None
+        return self._period + self._rng.uniform(-self._jitter, self._jitter)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        try:
+            self._callback()
+        finally:
+            if not self._stopped:
+                self._event = self._sim.schedule(
+                    self._next_interval(), self._fire, label=self._label
+                )
+
+    def stop(self) -> None:
+        """Stop the process; pending ticks are cancelled (idempotent)."""
+        self._stopped = True
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None

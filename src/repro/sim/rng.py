@@ -1,0 +1,86 @@
+"""Deterministic hierarchical random-number streams.
+
+Every stochastic component receives its own ``random.Random`` stream derived
+from a master seed plus a stable name path, e.g.::
+
+    rng = derive_rng(master_seed, "attackers", "paste", "arrival")
+
+Derivation hashes the path with BLAKE2b, so adding a new component never
+perturbs the streams of existing ones — runs stay reproducible as the
+library grows.  ``random.Random`` (Mersenne Twister) is used instead of
+numpy generators in behavioural code because its sequence is stable across
+numpy versions; numpy arrays are produced only inside the analysis layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable
+
+_DIGEST_BYTES = 8
+
+
+def derive_seed(master_seed: int, *path: str | int) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a name path.
+
+    The mapping is stable across Python versions (no builtin ``hash``) and
+    collision-resistant enough for simulation purposes.
+    """
+    hasher = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    hasher.update(str(int(master_seed)).encode("utf-8"))
+    for part in path:
+        hasher.update(b"\x1f")
+        hasher.update(str(part).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def derive_rng(master_seed: int, *path: str | int) -> random.Random:
+    """Return a ``random.Random`` seeded from the derived child seed."""
+    return random.Random(derive_seed(master_seed, *path))
+
+
+class SeedSequence:
+    """Convenience wrapper binding a master seed to a base path.
+
+    Example:
+        >>> seq = SeedSequence(42, "attackers")
+        >>> rng = seq.rng("paste", "arrival")
+        >>> child = seq.child("paste")
+        >>> child.rng("arrival").random() == rng.random()
+        True
+    """
+
+    __slots__ = ("_master", "_path")
+
+    def __init__(self, master_seed: int, *path: str | int) -> None:
+        self._master = int(master_seed)
+        self._path: tuple[str | int, ...] = tuple(path)
+
+    @property
+    def master_seed(self) -> int:
+        return self._master
+
+    @property
+    def path(self) -> tuple[str | int, ...]:
+        return self._path
+
+    def seed(self, *extra: str | int) -> int:
+        """Derive the integer seed for ``extra`` appended to the base path."""
+        return derive_seed(self._master, *self._path, *extra)
+
+    def rng(self, *extra: str | int) -> random.Random:
+        """Derive a ``random.Random`` for ``extra`` under the base path."""
+        return derive_rng(self._master, *self._path, *extra)
+
+    def child(self, *extra: str | int) -> "SeedSequence":
+        """Return a new sequence rooted deeper in the path hierarchy."""
+        return SeedSequence(self._master, *self._path, *extra)
+
+    @staticmethod
+    def spawn_many(base: "SeedSequence", names: Iterable[str | int]) -> dict:
+        """Spawn one child per name; handy for per-account streams."""
+        return {name: base.child(name) for name in names}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeedSequence(master={self._master}, path={self._path!r})"

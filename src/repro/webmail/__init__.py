@@ -1,0 +1,47 @@
+"""Simulated webmail service (Gmail-like substrate).
+
+The paper's honeypot framework is built on Gmail features: mailboxes with
+folders/labels/stars/drafts, full-text search, per-access cookies, the
+account activity page (IP, geolocated city, device fingerprint), an Apps
+Script runtime with time triggers and execution quotas, send-from address
+overrides, and anti-abuse enforcement that suspends accounts.  This package
+implements all of those from scratch so the honey-account framework in
+``repro.core`` runs against a faithful provider.
+"""
+
+from repro.webmail.abuse import AbusePolicy, AntiAbuseEngine
+from repro.webmail.account import AccountState, Credentials, WebmailAccount
+from repro.webmail.activity import AccessEvent, ActivityPage
+from repro.webmail.appsscript import AppsScript, AppsScriptRuntime, ScriptQuota
+from repro.webmail.mailbox import Folder, Mailbox
+from repro.webmail.message import EmailMessage, MessageFlags
+from repro.webmail.search import search_messages
+from repro.webmail.service import LoginContext, WebmailService
+from repro.webmail.sessions import Cookie, Session, SessionManager
+from repro.webmail.smtp import DeliveryOutcome, OutboundRouter, SentEmail
+
+__all__ = [
+    "AbusePolicy",
+    "AccessEvent",
+    "AccountState",
+    "ActivityPage",
+    "AntiAbuseEngine",
+    "AppsScript",
+    "AppsScriptRuntime",
+    "Cookie",
+    "Credentials",
+    "DeliveryOutcome",
+    "EmailMessage",
+    "Folder",
+    "LoginContext",
+    "Mailbox",
+    "MessageFlags",
+    "OutboundRouter",
+    "ScriptQuota",
+    "SentEmail",
+    "Session",
+    "SessionManager",
+    "WebmailAccount",
+    "WebmailService",
+    "search_messages",
+]

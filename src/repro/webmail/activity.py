@@ -1,0 +1,63 @@
+"""The account activity page.
+
+Gmail's "last account activity" page lists recent accesses with IP
+address, geolocated city (when resolvable), and device/browser details.
+The paper's monitoring scripts scrape this page; its analysis counts
+unique accesses by cookie and measures locations.  :class:`ActivityPage`
+is the provider-side log that scraping reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.fingerprint import DeviceFingerprint
+from repro.netsim.geo import GeoLocation
+from repro.netsim.ipaddr import IPAddress
+from repro.webmail.sessions import Cookie
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One row of the activity page: a login or returning visit."""
+
+    account_address: str
+    cookie: Cookie
+    ip_address: IPAddress
+    location: GeoLocation | None
+    fingerprint: DeviceFingerprint
+    timestamp: float
+
+    @property
+    def has_location(self) -> bool:
+        """False for Tor/proxy accesses, which Google cannot geolocate."""
+        return self.location is not None
+
+
+@dataclass
+class ActivityPage:
+    """Per-account access log, append-only, scrape-friendly."""
+
+    _events: dict[str, list[AccessEvent]] = field(default_factory=dict)
+
+    def record(self, event: AccessEvent) -> None:
+        """Append an access event for its account."""
+        self._events.setdefault(event.account_address, []).append(event)
+
+    def events_for(self, account_address: str) -> tuple[AccessEvent, ...]:
+        """All recorded events for an account, oldest first."""
+        return tuple(self._events.get(account_address, ()))
+
+    def events_since(
+        self, account_address: str, after_time: float
+    ) -> tuple[AccessEvent, ...]:
+        """Events strictly newer than ``after_time`` (incremental scrape)."""
+        return tuple(
+            e
+            for e in self._events.get(account_address, ())
+            if e.timestamp > after_time
+        )
+
+    def total_events(self) -> int:
+        """Total events across accounts (diagnostics)."""
+        return sum(len(v) for v in self._events.values())

@@ -1,0 +1,189 @@
+"""Apps-Script-like scripting runtime with time triggers and quotas.
+
+Google Apps Script lets account owners attach scripts with time-driven
+triggers; the paper's monitor scans mailboxes every 10 minutes and sends a
+daily heartbeat, hiding the script inside a spreadsheet.  Google also
+enforces execution-time quotas — two honey accounts received "using too
+much computer time" notifications, which attackers then read (a case study
+in Section 4.7).
+
+:class:`AppsScriptRuntime` reproduces those semantics: scripts are bound to
+accounts, fire on periodic triggers, accrue simulated execution time
+against a daily quota, and keep running even when the account password
+changes (only deletion of the script, or account suspension by the
+provider, stops them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import QuotaExceededError, ConfigurationError
+from repro.sim.clock import days
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class AppsScript(Protocol):
+    """Interface for account-bound scripts."""
+
+    #: Simulated execution cost (seconds of "computer time") per run.
+    execution_cost: float
+
+    def run(self, now: float) -> None:  # pragma: no cover - protocol
+        """Execute one trigger firing at sim-time ``now``."""
+        ...
+
+
+@dataclass
+class ScriptQuota:
+    """Daily execution-time budget for one account's scripts."""
+
+    daily_limit_seconds: float = 90.0
+    used_seconds: float = 0.0
+    window_start: float = 0.0
+
+    def charge(self, cost: float, now: float) -> None:
+        """Consume quota; resets at day boundaries.
+
+        Raises:
+            QuotaExceededError: when the daily budget is exhausted.
+        """
+        if now - self.window_start >= days(1):
+            self.window_start = now - (now - self.window_start) % days(1)
+            self.used_seconds = 0.0
+        self.used_seconds += cost
+        if self.used_seconds > self.daily_limit_seconds:
+            raise QuotaExceededError(
+                f"daily script quota exceeded: {self.used_seconds:.1f}s "
+                f"> {self.daily_limit_seconds:.1f}s"
+            )
+
+
+@dataclass
+class _Installation:
+    """One script installed on one account."""
+
+    account_address: str
+    script: AppsScript
+    trigger: PeriodicProcess
+    hidden_in: str
+    deleted: bool = False
+
+
+class AppsScriptRuntime:
+    """Executes installed scripts on their time triggers.
+
+    Args:
+        sim: the simulation engine providing triggers.
+        quota_notifier: callback invoked as ``(account_address, now)``
+            whenever a script run trips the daily quota; the honey
+            framework wires this to the provider's notification email
+            ("using too much computer time").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        quota_notifier: Callable[[str, float], None] | None = None,
+        daily_quota_seconds: float = 90.0,
+    ) -> None:
+        self._sim = sim
+        self._installations: dict[int, _Installation] = {}
+        self._quotas: dict[str, ScriptQuota] = {}
+        self._quota_notifier = quota_notifier
+        self._daily_quota_seconds = daily_quota_seconds
+        self._next_id = 1
+        self.runs_executed = 0
+        self.quota_trips = 0
+
+    def install(
+        self,
+        account_address: str,
+        script: AppsScript,
+        *,
+        period: float,
+        start_delay: float | None = None,
+        hidden_in: str = "spreadsheet:Budget2015",
+    ) -> int:
+        """Install ``script`` on an account with a time trigger.
+
+        Returns an installation id usable with :meth:`uninstall`.
+        """
+        if period <= 0:
+            raise ConfigurationError("trigger period must be positive")
+        installation_id = self._next_id
+        self._next_id += 1
+
+        def _fire() -> None:
+            self._execute(installation_id)
+
+        trigger = PeriodicProcess(
+            self._sim,
+            period,
+            _fire,
+            start_delay=start_delay,
+            label=f"apps-script:{account_address}:{installation_id}",
+        )
+        self._installations[installation_id] = _Installation(
+            account_address=account_address,
+            script=script,
+            trigger=trigger,
+            hidden_in=hidden_in,
+        )
+        self._quotas.setdefault(
+            account_address,
+            ScriptQuota(daily_limit_seconds=self._daily_quota_seconds),
+        )
+        return installation_id
+
+    def _execute(self, installation_id: int) -> None:
+        installation = self._installations.get(installation_id)
+        if installation is None or installation.deleted:
+            return
+        now = self._sim.now
+        quota = self._quotas[installation.account_address]
+        try:
+            quota.charge(installation.script.execution_cost, now)
+        except QuotaExceededError:
+            self.quota_trips += 1
+            if self._quota_notifier is not None:
+                self._quota_notifier(installation.account_address, now)
+            return  # run skipped this tick; quota resets next day
+        installation.script.run(now)
+        self.runs_executed += 1
+
+    def uninstall(self, installation_id: int) -> None:
+        """Remove a script (an attacker deleting it, or teardown)."""
+        installation = self._installations.get(installation_id)
+        if installation is None:
+            return
+        installation.deleted = True
+        installation.trigger.stop()
+
+    def uninstall_account(self, account_address: str) -> int:
+        """Remove every script on an account; returns how many."""
+        removed = 0
+        for installation in self._installations.values():
+            if (
+                installation.account_address == account_address
+                and not installation.deleted
+            ):
+                installation.deleted = True
+                installation.trigger.stop()
+                removed += 1
+        return removed
+
+    def scripts_on(self, account_address: str) -> list[int]:
+        """Ids of live installations on an account."""
+        return [
+            iid
+            for iid, inst in self._installations.items()
+            if inst.account_address == account_address and not inst.deleted
+        ]
+
+    def hidden_location(self, installation_id: int) -> str:
+        """Where the script hides (the paper tucks it in a spreadsheet)."""
+        return self._installations[installation_id].hidden_in

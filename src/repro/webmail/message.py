@@ -1,0 +1,62 @@
+"""Email messages as stored by the webmail service."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_message_counter = itertools.count(1)
+
+
+def _next_message_id() -> str:
+    return f"msg-{next(_message_counter):08d}"
+
+
+@dataclass
+class MessageFlags:
+    """Mutable per-message state the UI exposes."""
+
+    read: bool = False
+    starred: bool = False
+
+    def copy(self) -> "MessageFlags":
+        return MessageFlags(read=self.read, starred=self.starred)
+
+
+@dataclass
+class EmailMessage:
+    """One message in a mailbox.
+
+    ``received_at`` is sim-time for messages that arrive during the
+    experiment and a *negative* sim-time for seeded history (their dates
+    predate the epoch), so ordering works uniformly.
+    """
+
+    sender_name: str
+    sender_address: str
+    recipient_addresses: tuple[str, ...]
+    subject: str
+    body: str
+    received_at: float
+    labels: set[str] = field(default_factory=set)
+    flags: MessageFlags = field(default_factory=MessageFlags)
+    message_id: str = field(default_factory=_next_message_id)
+
+    @property
+    def text(self) -> str:
+        """Subject plus body — the searchable/analysable content."""
+        return f"{self.subject}\n{self.body}"
+
+    def matches(self, query: str) -> bool:
+        """Case-insensitive substring search over subject and body."""
+        needle = query.lower()
+        return needle in self.subject.lower() or needle in self.body.lower()
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot used by monitoring diffs."""
+        return {
+            "message_id": self.message_id,
+            "subject": self.subject,
+            "read": self.flags.read,
+            "starred": self.flags.starred,
+        }

@@ -1,0 +1,54 @@
+"""Full-text search over a mailbox.
+
+Gmail's search box is how "gold digger" attackers locate valuable mail;
+the paper infers their queries indirectly because search logs were not
+available.  The service-side search here supports multi-term queries and
+records query strings, so the simulator has ground truth to validate the
+TF-IDF inference against (tests only — the analysis pipeline never reads
+the query log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webmail.mailbox import Folder, Mailbox
+from repro.webmail.message import EmailMessage
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A recorded search query (provider ground truth)."""
+
+    account_address: str
+    query: str
+    timestamp: float
+    result_count: int
+
+
+def search_messages(
+    mailbox: Mailbox,
+    query: str,
+    *,
+    folders: tuple[Folder, ...] = (Folder.INBOX, Folder.SENT, Folder.DRAFTS),
+    limit: int | None = None,
+) -> list[EmailMessage]:
+    """Search a mailbox for messages matching every term of ``query``.
+
+    Terms are whitespace-separated; a message matches when each term
+    appears (case-insensitively) in its subject or body, approximating
+    webmail search semantics.  Results keep folder order (inbox first,
+    then sent, then drafts) and are capped at ``limit`` when given.
+    """
+    terms = [t for t in query.lower().split() if t]
+    if not terms:
+        return []
+    results: list[EmailMessage] = []
+    for folder in folders:
+        for message in mailbox.messages(folder):
+            haystack = message.text.lower()
+            if all(term in haystack for term in terms):
+                results.append(message)
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results

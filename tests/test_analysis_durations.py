@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.durations on the shared experiment run."""
+
+from repro.analysis.durations import (
+    access_durations,
+    access_timeline,
+    group_time_to_first_access,
+    time_to_first_access,
+)
+from repro.analysis.taxonomy import TaxonomyLabel
+
+
+class TestDurations:
+    def test_every_label_bucket_exists(self, analysis):
+        durations = access_durations(analysis.classified)
+        assert set(durations) == set(TaxonomyLabel)
+
+    def test_durations_non_negative(self, analysis):
+        for values in analysis.durations_by_label.values():
+            assert all(v >= 0.0 for v in values)
+
+    def test_label_sample_sizes_match_counts(self, analysis):
+        durations = access_durations(analysis.classified)
+        for label, count in analysis.label_totals.items():
+            assert len(durations[label]) == count
+
+
+class TestDelays:
+    def test_delays_non_negative(self, analysis):
+        for values in analysis.delays_by_outlet.values():
+            assert all(v >= 0.0 for v in values)
+
+    def test_delays_cover_every_access(self, analysis):
+        total = sum(len(v) for v in analysis.delays_by_outlet.values())
+        assert total == analysis.total_unique_accesses
+
+    def test_group_delays_partition_outlet_delays(self, analysis):
+        dataset = analysis.dataset
+        group_delays = group_time_to_first_access(
+            dataset, analysis.unique_accesses
+        )
+        outlet_delays = time_to_first_access(
+            dataset, analysis.unique_accesses
+        )
+        paste_groups = [
+            name for name in group_delays if name.startswith("paste")
+        ]
+        paste_total = sum(len(group_delays[n]) for n in paste_groups)
+        assert paste_total == len(outlet_delays["paste"])
+
+    def test_timeline_matches_delays(self, analysis):
+        timeline = access_timeline(
+            analysis.dataset, analysis.unique_accesses
+        )
+        for outlet, points in timeline.items():
+            assert len(points) == len(analysis.delays_by_outlet[outlet])

@@ -1,0 +1,122 @@
+"""Tests for repro.analysis.report and figures (consistency checks)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    ascii_cdf,
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+)
+from repro.analysis.report import (
+    format_table2,
+    format_taxonomy_summary,
+    overview,
+)
+from repro.analysis.taxonomy import TaxonomyLabel
+
+
+class TestOverviewConsistency:
+    def test_unique_accesses_match(self, analysis, experiment_result):
+        stats = overview(analysis, experiment_result.blacklisted_ips)
+        assert stats.unique_accesses == analysis.total_unique_accesses
+
+    def test_outlet_counts_sum(self, analysis, experiment_result):
+        stats = overview(analysis, experiment_result.blacklisted_ips)
+        assert (
+            sum(stats.accesses_per_outlet.values())
+            == stats.unique_accesses
+        )
+
+    def test_location_split_sums(self, analysis, experiment_result):
+        stats = overview(analysis, experiment_result.blacklisted_ips)
+        assert (
+            stats.located_accesses + stats.unlocated_accesses
+            == stats.unique_accesses
+        )
+
+    def test_no_blacklist_means_zero_hits(self, analysis):
+        stats = overview(analysis, None)
+        assert stats.blacklist_hits == 0
+
+    def test_share_values_are_probabilities(
+        self, analysis, experiment_result
+    ):
+        stats = overview(analysis, experiment_result.blacklisted_ips)
+        for shares in (
+            stats.empty_ua_share_by_outlet,
+            stats.android_share_by_outlet,
+        ):
+            for value in shares.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestFormatters:
+    def test_table2_renders(self, analysis):
+        text = format_table2(analysis)
+        assert "searched word" in text
+        assert len(text.splitlines()) == 11
+
+    def test_taxonomy_summary_renders(self, analysis):
+        text = format_taxonomy_summary(analysis)
+        for label in TaxonomyLabel:
+            assert label.value in text
+
+
+class TestFigureSeries:
+    def test_figure1_labels_present(self, analysis):
+        series = figure1_series(analysis)
+        assert "curious" in series
+        assert all(ecdf.n > 0 for ecdf in series.values())
+
+    def test_figure2_shares_sum_reasonably(self, analysis):
+        for outlet, shares in figure2_series(analysis).items():
+            # labels are non-exclusive, so shares sum to >= 1
+            assert sum(shares.values()) >= 0.99, outlet
+            for value in shares.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_figure3_covers_all_outlets(self, analysis):
+        assert set(figure3_series(analysis)) == {
+            "paste", "forum", "malware",
+        }
+
+    def test_figure4_points_sorted(self, analysis):
+        for points in figure4_series(analysis).values():
+            delays = [d for d, _ in points]
+            assert delays == sorted(delays)
+
+    def test_figure4_count_matches_unique_accesses(self, analysis):
+        total_points = sum(
+            len(p) for p in figure4_series(analysis).values()
+        )
+        assert total_points == analysis.total_unique_accesses
+
+    def test_figure5_panels(self, analysis):
+        radii = figure5_series(analysis)
+        assert set(radii) == {"uk", "us"}
+        for panel in radii.values():
+            for value in panel.values():
+                assert value > 0
+
+    def test_ascii_cdf_renders(self, analysis):
+        text = ascii_cdf(figure3_series(analysis), title="fig3")
+        assert text.startswith("fig3")
+        assert "paste" in text
+
+    def test_ascii_cdf_empty(self):
+        assert "(no data)" in ascii_cdf({})
+
+
+class TestAnalysisAccessors:
+    def test_accesses_for_outlet_partition(self, analysis):
+        total = sum(
+            len(analysis.accesses_for_outlet(o))
+            for o in ("paste", "forum", "malware")
+        )
+        assert total == analysis.total_unique_accesses
+
+    def test_observed_ips_nonempty(self, analysis):
+        assert analysis.observed_ips()

@@ -1,0 +1,244 @@
+"""Tests for repro.attackers.population and casestudies."""
+
+import random
+
+import pytest
+
+from repro.attackers.casestudies import (
+    BlackmailCampaign,
+    CardingForumRegistration,
+    deliver_quota_notice,
+)
+from repro.attackers.population import (
+    _CLASS_MIX,
+    AttackerPopulation,
+    PopulationConfig,
+)
+from repro.attackers.sophistication import TaxonomyClass
+from repro.core.groups import LocationHint, OutletKind, paper_leak_plan
+from repro.corpus.identity import IdentityFactory
+from repro.errors import ConfigurationError
+from repro.leaks.formats import leak_content_for
+from repro.leaks.outlet import LeakEvent
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.sim.clock import days
+from repro.sim.engine import Simulator
+from repro.webmail.account import Credentials
+from repro.webmail.mailbox import Folder
+from repro.webmail.service import WebmailService
+
+
+class TestClassMixes:
+    def test_mixes_sum_to_one(self):
+        for outlet, mixes in _CLASS_MIX.items():
+            total = sum(weight for _, weight in mixes)
+            assert total == pytest.approx(1.0), outlet
+
+    def test_malware_mix_never_hijacks_or_spams(self):
+        for classes, _ in _CLASS_MIX[OutletKind.MALWARE]:
+            assert TaxonomyClass.HIJACKER not in classes
+            assert TaxonomyClass.SPAMMER not in classes
+
+    def test_no_pure_spammer_sets(self):
+        for mixes in _CLASS_MIX.values():
+            for classes, _ in mixes:
+                if TaxonomyClass.SPAMMER in classes:
+                    assert len(classes) > 1
+
+
+@pytest.fixture()
+def population(geo):
+    service = WebmailService(geo, random.Random(1))
+    anonymity = AnonymityNetwork(
+        geo, random.Random(2), tor_exit_count=10, proxy_count=5
+    )
+    return AttackerPopulation(
+        sim=Simulator(),
+        service=service,
+        geo=geo,
+        anonymity=anonymity,
+        rng=random.Random(3),
+    )
+
+
+def make_event(venue, group_name, hint=LocationHint.NONE, rng_seed=4):
+    plan = paper_leak_plan()
+    group = plan.group(group_name)
+    identity = IdentityFactory(random.Random(rng_seed)).create(
+        hint.home_region
+    )
+    content = leak_content_for(
+        identity, Credentials(identity.address, "p123456"), hint
+    )
+    return LeakEvent(
+        content=content, group=group, venue=venue, leak_time=days(1)
+    )
+
+
+class TestSpawning:
+    def test_paste_spawn_counts_poissonish(self, population):
+        total = 0
+        for i in range(40):
+            event = make_event(
+                "pastebin.com", "paste_popular_noloc", rng_seed=i
+            )
+            total += len(population.spawn_for_leak(event, "p123456"))
+        # rate 4.4/account over 40 accounts => expect ~176 +- noise
+        assert 110 < total < 250
+
+    def test_malware_all_tor_but_at_most_one(self, population):
+        agents = []
+        for i in range(20):
+            event = make_event(
+                "malware:zeus", "malware", rng_seed=100 + i
+            )
+            agents.extend(population.spawn_for_leak(event, "p123456"))
+        direct = [
+            a for a in agents if a.profile.origin is OriginKind.DIRECT
+        ]
+        assert len(direct) <= 1
+        assert all(a.profile.hide_user_agent for a in agents)
+
+    def test_malware_gold_diggers_come_from_bursts(self, population):
+        agents = []
+        for i in range(30):
+            event = make_event("malware:zeus", "malware", rng_seed=200 + i)
+            agents.extend(population.spawn_for_leak(event, "p123456"))
+        gold = [
+            a
+            for a in agents
+            if TaxonomyClass.GOLD_DIGGER in a.profile.classes
+        ]
+        assert gold, "resale bursts must produce gold diggers"
+        curious = [a for a in agents if a.profile.is_curious_only]
+        assert len(curious) > len(gold)
+
+    def test_malleable_only_with_location_hint(self, population):
+        noloc_agents = []
+        for i in range(30):
+            event = make_event(
+                "pastebin.com", "paste_popular_noloc", rng_seed=300 + i
+            )
+            noloc_agents.extend(population.spawn_for_leak(event, "p"))
+        assert all(
+            not a.profile.location_malleable for a in noloc_agents
+        )
+        uk_agents = []
+        for i in range(30):
+            event = make_event(
+                "pastebin.com", "paste_uk", LocationHint.UK,
+                rng_seed=400 + i,
+            )
+            uk_agents.extend(population.spawn_for_leak(event, "p"))
+        malleable = [
+            a for a in uk_agents if a.profile.location_malleable
+        ]
+        assert malleable, "with-location leaks attract malleable actors"
+        assert all(
+            a.profile.origin is OriginKind.DIRECT for a in malleable
+        )
+
+    def test_agents_scheduled_on_sim(self, population):
+        event = make_event("pastebin.com", "paste_popular_noloc")
+        agents = population.spawn_for_leak(event, "p123456")
+        if agents:  # Poisson can draw zero
+            assert population.sim.pending_events > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(paste_anonymise_prob=2.0)
+
+
+@pytest.fixture()
+def case_world(geo):
+    sim = Simulator()
+    service = WebmailService(geo, random.Random(5))
+    service.create_account(
+        Credentials("bm1@gmail.example", "pass1234"), "BM One"
+    )
+    return sim, service
+
+
+class TestBlackmail:
+    def test_campaign_creates_drafts_and_sends(self, case_world, geo):
+        sim, service = case_world
+        campaign = BlackmailCampaign(
+            sim=sim, service=service, geo=geo, rng=random.Random(6),
+            start_day=2.0, follow_up_readers=1,
+        )
+        campaign.target("bm1@gmail.example", "pass1234")
+        campaign.schedule()
+        sim.run_until(days(60))
+        assert campaign.accounts_used == ["bm1@gmail.example"]
+        assert campaign.drafts_created == campaign.drafts_per_account
+        assert campaign.sent_messages == campaign.victims_per_account
+        account = service.account("bm1@gmail.example")
+        drafts = account.mailbox.messages(Folder.DRAFTS)
+        assert len(drafts) == campaign.drafts_per_account
+        assert any("bitcoin" in d.body for d in drafts)
+
+    def test_follow_up_readers_read_drafts(self, case_world, geo):
+        sim, service = case_world
+        campaign = BlackmailCampaign(
+            sim=sim, service=service, geo=geo, rng=random.Random(6),
+            start_day=2.0, follow_up_readers=2,
+        )
+        campaign.target("bm1@gmail.example", "pass1234")
+        campaign.schedule()
+        sim.run_until(days(60))
+        assert campaign.follow_up_reads > 0
+        account = service.account("bm1@gmail.example")
+        assert any(
+            d.flags.read
+            for d in account.mailbox.messages(Folder.DRAFTS)
+        )
+
+    def test_stops_after_wanted_accounts(self, case_world, geo):
+        sim, service = case_world
+        for i in range(4):
+            service.create_account(
+                Credentials(f"extra{i}@gmail.example", "pass1234"), "E"
+            )
+        campaign = BlackmailCampaign(
+            sim=sim, service=service, geo=geo, rng=random.Random(6),
+            start_day=2.0, accounts_wanted=2, follow_up_readers=0,
+        )
+        campaign.target("bm1@gmail.example", "pass1234")
+        for i in range(4):
+            campaign.target(f"extra{i}@gmail.example", "pass1234")
+        campaign.schedule()
+        sim.run_until(days(60))
+        assert len(campaign.accounts_used) == 2
+
+    def test_inaccessible_account_skipped(self, case_world, geo):
+        sim, service = case_world
+        service.account("bm1@gmail.example").block("tos", 0.0)
+        campaign = BlackmailCampaign(
+            sim=sim, service=service, geo=geo, rng=random.Random(6),
+            start_day=2.0,
+        )
+        campaign.target("bm1@gmail.example", "pass1234")
+        campaign.schedule()
+        sim.run_until(days(60))
+        assert campaign.accounts_used == []
+
+
+class TestOtherCaseStudies:
+    def test_carding_registration_delivers_confirmation(self, case_world):
+        sim, service = case_world
+        carding = CardingForumRegistration(sim=sim, service=service)
+        carding.schedule("bm1@gmail.example", at_day=1.0)
+        sim.run_until(days(2))
+        assert carding.registration_done
+        inbox = service.account("bm1@gmail.example").mailbox.messages(
+            Folder.INBOX
+        )
+        assert any("confirm" in m.subject.lower() for m in inbox)
+
+    def test_quota_notice_delivery(self, case_world):
+        _, service = case_world
+        assert deliver_quota_notice(service, "bm1@gmail.example", 5.0)
+        inbox = service.account("bm1@gmail.example").mailbox.messages(
+            Folder.INBOX
+        )
+        assert any("computer time" in m.subject for m in inbox)

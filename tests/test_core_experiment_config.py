@@ -1,0 +1,115 @@
+"""Tests for repro.core.experiment configuration and setup stages."""
+
+import pytest
+
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.groups import OutletKind
+from repro.errors import ConfigurationError
+from repro.sim.clock import hours, minutes
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.duration_days == 236.0  # 25 Jun 2015 - 16 Feb 2016
+        assert config.scan_period == minutes(10)  # the paper's cadence
+
+    def test_fast_config_relaxes_cadence(self):
+        fast = ExperimentConfig.fast()
+        assert fast.scan_period > ExperimentConfig().scan_period
+        assert fast.duration_days == 236.0  # horizon unchanged
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(duration_days=0.0)
+
+    def test_invalid_periods(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(scan_period=0.0)
+
+
+class TestExperimentStages:
+    @pytest.fixture()
+    def experiment(self):
+        return Experiment(
+            ExperimentConfig(
+                master_seed=77,
+                duration_days=30.0,
+                scan_period=hours(4),
+                scrape_period=hours(6),
+                emails_per_account=(15, 25),
+            )
+        )
+
+    def test_provisioning_idempotent(self, experiment):
+        first = experiment.provision_accounts()
+        second = experiment.provision_accounts()
+        assert first is second
+        assert len(first) == 100
+
+    def test_every_account_leaked(self, experiment):
+        experiment.leak_credentials()
+        leaked = experiment.ledger.leaked_accounts()
+        honey = {h.address for h in experiment.honey_accounts}
+        # Malware-channel leaks require a live C&C, so a couple of
+        # accounts can stay unleaked (credentials lost to dead servers).
+        assert len(honey - leaked) <= 5
+        paste_and_forum = {
+            h.address
+            for h in experiment.honey_accounts
+            if h.group.outlet is not OutletKind.MALWARE
+        }
+        assert paste_and_forum <= leaked
+
+    def test_paste_accounts_leaked_on_both_sites(self, experiment):
+        experiment.leak_credentials()
+        popular = [
+            h
+            for h in experiment.honey_accounts
+            if h.group.name == "paste_popular_noloc"
+        ]
+        events = [
+            e
+            for e in experiment.ledger.events
+            if e.account_address == popular[0].address
+        ]
+        venues = {e.venue for e in events}
+        assert venues == {"pastebin.com", "pastie.org"}
+
+    def test_sandbox_ip_registered_as_infrastructure(self, experiment):
+        experiment.leak_credentials()
+        # At least 4 IPs: 3 scraper IPs + the sandbox host.
+        assert len(experiment.monitor.monitor_ip_strings) >= 4
+
+    def test_quota_accounts_configured(self, experiment):
+        experiment.provision_accounts()
+        heavy = [
+            h
+            for h in experiment.honey_accounts
+            if h.script.execution_cost > 1.0
+        ]
+        assert len(heavy) == 2
+        assert all(
+            h.group.name == "paste_popular_noloc" for h in heavy
+        )
+
+    def test_case_studies_disabled(self):
+        experiment = Experiment(
+            ExperimentConfig(
+                master_seed=78,
+                duration_days=10.0,
+                scan_period=hours(4),
+                scrape_period=hours(6),
+                emails_per_account=(15, 25),
+                enable_case_studies=False,
+            )
+        )
+        experiment.provision_accounts()
+        experiment.schedule_case_studies()
+        assert experiment.blackmail is None
+        heavy = [
+            h
+            for h in experiment.honey_accounts
+            if h.script.execution_cost > 1.0
+        ]
+        assert heavy == []

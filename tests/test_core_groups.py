@@ -1,0 +1,94 @@
+"""Tests for repro.core.groups (Table 1)."""
+
+import pytest
+
+from repro.core.groups import (
+    GroupSpec,
+    LeakPlan,
+    LocationHint,
+    OutletKind,
+    paper_leak_plan,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperLeakPlan:
+    def test_total_is_100_accounts(self):
+        assert paper_leak_plan().total_accounts == 100
+
+    def test_outlet_totals_match_paper(self):
+        plan = paper_leak_plan()
+        paste = sum(
+            g.size for g in plan.groups_for_outlet(OutletKind.PASTE)
+        )
+        forum = sum(
+            g.size for g in plan.groups_for_outlet(OutletKind.FORUM)
+        )
+        malware = sum(
+            g.size for g in plan.groups_for_outlet(OutletKind.MALWARE)
+        )
+        assert (paste, forum, malware) == (50, 30, 20)
+
+    def test_table1_rows(self):
+        rows = paper_leak_plan().table1_rows()
+        # (group number, account count) pairs exactly as in Table 1
+        assert [(n, c) for n, c, _ in rows] == [
+            (1, 30), (2, 20), (3, 10), (4, 20), (5, 20),
+        ]
+
+    def test_table1_descriptions(self):
+        rows = dict(
+            (number, description)
+            for number, _, description in paper_leak_plan().table1_rows()
+        )
+        assert "paste" in rows[1]
+        assert "location information" in rows[2]
+        assert "underground forums" in rows[3]
+        assert "malware" in rows[5]
+
+    def test_russian_paste_subgroup(self):
+        group = paper_leak_plan().group("paste_russian_noloc")
+        assert group.size == 10
+        assert "p.for-us.nl" in group.venues
+
+    def test_location_hints(self):
+        plan = paper_leak_plan()
+        assert plan.group("paste_uk").location_hint is LocationHint.UK
+        assert plan.group("forum_us").location_hint is LocationHint.US
+        assert plan.group("malware").location_hint is LocationHint.NONE
+
+    def test_home_regions(self):
+        assert LocationHint.UK.home_region == "uk"
+        assert LocationHint.US.home_region == "us_midwest"
+        assert LocationHint.NONE.home_region is None
+
+    def test_unknown_group(self):
+        with pytest.raises(ConfigurationError):
+            paper_leak_plan().group("paste_mars")
+
+
+class TestValidation:
+    def make_group(self, **overrides):
+        spec = dict(
+            name="g",
+            outlet=OutletKind.PASTE,
+            size=5,
+            location_hint=LocationHint.NONE,
+            venues=("pastebin.com",),
+            table1_group=1,
+        )
+        spec.update(overrides)
+        return GroupSpec(**spec)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_group(size=0)
+
+    def test_no_venues_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_group(venues=())
+
+    def test_duplicate_names_rejected(self):
+        group = self.make_group()
+        with pytest.raises(ConfigurationError):
+            LeakPlan(groups=(group, group))

@@ -1,0 +1,74 @@
+"""Tests for repro.corpus.names and repro.corpus.identity."""
+
+import random
+
+from repro.corpus.identity import (
+    COMPANY_DOMAIN,
+    WEBMAIL_DOMAIN,
+    IdentityFactory,
+)
+from repro.corpus.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    handle_for,
+    random_identity_name,
+)
+
+
+class TestNames:
+    def test_handle_without_suffix(self):
+        assert handle_for("Mary", "Walker") == "mary.walker"
+
+    def test_handle_with_suffix(self):
+        assert handle_for("Mary", "Walker", 7) == "mary.walker7"
+
+    def test_random_name_from_lists(self, rng):
+        first, last = random_identity_name(rng)
+        assert first in FIRST_NAMES
+        assert last in LAST_NAMES
+
+    def test_name_lists_sizeable(self):
+        assert len(FIRST_NAMES) >= 50
+        assert len(LAST_NAMES) >= 50
+
+
+class TestIdentityFactory:
+    def test_unique_handles(self, rng):
+        factory = IdentityFactory(rng)
+        identities = factory.create_many(300)
+        handles = [i.handle for i in identities]
+        assert len(handles) == len(set(handles))
+
+    def test_address_domains(self, rng):
+        identity = IdentityFactory(rng).create()
+        assert identity.address.endswith("@" + WEBMAIL_DOMAIN)
+        assert identity.corporate_address.endswith("@" + COMPANY_DOMAIN)
+
+    def test_no_location_by_default(self, rng):
+        assert IdentityFactory(rng).create().home_city is None
+
+    def test_uk_region(self, rng):
+        identity = IdentityFactory(rng).create("uk")
+        assert identity.home_city is not None
+        assert identity.home_city.country == "GB"
+
+    def test_us_midwest_region(self, rng):
+        identity = IdentityFactory(rng).create("us_midwest")
+        assert identity.home_city.country == "US"
+
+    def test_date_of_birth_plausible(self, rng):
+        factory = IdentityFactory(rng)
+        for _ in range(50):
+            dob = factory.create().date_of_birth
+            assert 1960 <= dob.year < 1995
+
+    def test_full_name(self, rng):
+        identity = IdentityFactory(rng).create()
+        assert identity.full_name == (
+            f"{identity.first_name} {identity.last_name}"
+        )
+
+    def test_deterministic(self):
+        a = IdentityFactory(random.Random(5)).create_many(10)
+        b = IdentityFactory(random.Random(5)).create_many(10)
+        assert [i.address for i in a] == [i.address for i in b]

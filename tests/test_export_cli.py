@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.export and repro.cli."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_results, results_to_dict
+from repro.cli import main
+
+
+class TestResultsToDict:
+    def test_structure(self, analysis, experiment_result):
+        data = results_to_dict(
+            analysis, experiment_result.blacklisted_ips
+        )
+        assert set(data) == {
+            "overview", "figure2", "figure5", "cvm_tests", "table2",
+        }
+        assert data["overview"]["unique_accesses"] > 0
+        assert len(data["table2"]["searched"]) == 10
+        assert set(data["cvm_tests"]) == {
+            "paste_uk_p", "paste_us_p", "forum_uk_p", "forum_us_p",
+        }
+
+    def test_json_serialisable(self, analysis, experiment_result):
+        data = results_to_dict(
+            analysis, experiment_result.blacklisted_ips
+        )
+        round_tripped = json.loads(json.dumps(data))
+        assert (
+            round_tripped["overview"]["unique_accesses"]
+            == data["overview"]["unique_accesses"]
+        )
+
+
+class TestExportResults:
+    def test_writes_all_files(self, analysis, experiment_result, tmp_path):
+        written = export_results(
+            analysis,
+            tmp_path / "out",
+            blacklisted_ips=experiment_result.blacklisted_ips,
+        )
+        names = {path.name for path in written}
+        assert names == {
+            "results.json",
+            "figure1_access_length_cdf.csv",
+            "figure3_time_to_access_cdf.csv",
+            "figure4_access_timeline.csv",
+            "figure5_distance_vectors.csv",
+        }
+        for path in written:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_figure3_csv_well_formed(self, analysis, tmp_path):
+        written = export_results(analysis, tmp_path)
+        figure3 = next(p for p in written if "figure3" in p.name)
+        with figure3.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        outlets = {row["outlet"] for row in rows}
+        assert outlets == {"paste", "forum", "malware"}
+        for row in rows:
+            assert 0.0 < float(row["cdf"]) <= 1.0
+
+    def test_figure4_rows_match_unique_accesses(self, analysis, tmp_path):
+        written = export_results(analysis, tmp_path)
+        figure4 = next(p for p in written if "figure4" in p.name)
+        with figure4.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == analysis.total_unique_accesses
+
+
+class TestCli:
+    def test_run_command(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--seed", "11",
+                "--out", str(tmp_path / "cli-out"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "unique accesses" in output
+        assert (tmp_path / "cli-out" / "results.json").exists()
+
+    def test_tables_command(self, capsys):
+        exit_code = main(["tables", "--seed", "11"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "searched word" in output
+        assert "curious" in output
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,162 @@
+"""Tests for repro.leaks (formats, pastesites, forums, outlet ledger)."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.core.groups import LocationHint, OutletKind, paper_leak_plan
+from repro.corpus.identity import IdentityFactory
+from repro.errors import LeakError
+from repro.leaks.formats import leak_content_for, render_paste
+from repro.leaks.forums import UndergroundForum, _poisson
+from repro.leaks.outlet import LeakEvent, LeakLedger
+from repro.leaks.pastesites import PasteSite
+from repro.webmail.account import Credentials
+
+
+@pytest.fixture()
+def identity(rng):
+    return IdentityFactory(rng).create("uk")
+
+
+@pytest.fixture()
+def credentials(identity):
+    return Credentials(identity.address, "pass12345")
+
+
+class TestLeakContent:
+    def test_no_location_hint(self, identity, credentials):
+        content = leak_content_for(
+            identity, credentials, LocationHint.NONE
+        )
+        assert not content.has_location
+        assert content.date_of_birth is None
+
+    def test_with_location_hint(self, identity, credentials):
+        content = leak_content_for(identity, credentials, LocationHint.UK)
+        assert content.has_location
+        assert content.advertised_country == "GB"
+        assert isinstance(content.date_of_birth, date)
+
+    def test_render_basic(self, identity, credentials):
+        content = leak_content_for(identity, credentials, LocationHint.NONE)
+        text = render_paste([content])
+        assert f"{credentials.address}:{credentials.password}" in text
+        assert "|" not in text
+
+    def test_render_with_location(self, identity, credentials):
+        content = leak_content_for(identity, credentials, LocationHint.UK)
+        text = render_paste([content])
+        assert content.advertised_city in text
+        assert "dob" in text
+
+    def test_render_teaser(self, identity, credentials):
+        content = leak_content_for(identity, credentials, LocationHint.NONE)
+        text = render_paste([content], teaser=True)
+        assert "sample" in text
+        assert "pm for the full dump" in text
+
+
+class TestPasteSites:
+    def test_known_sites(self):
+        for name in ("pastebin.com", "pastie.org", "p.for-us.nl",
+                     "paste.org.ru"):
+            site = PasteSite.from_name(name)
+            assert site.name == name
+
+    def test_unknown_site(self):
+        with pytest.raises(LeakError):
+            PasteSite.from_name("ghostbin.example")
+
+    def test_russian_sites_dormant(self):
+        # The paper's Russian-paste accounts stayed untouched >2 months.
+        assert PasteSite.from_name("p.for-us.nl").profile.dormancy_days >= 60
+        assert PasteSite.from_name("pastebin.com").profile.dormancy_days == 0
+
+    def test_publish(self):
+        site = PasteSite.from_name("pastebin.com")
+        paste = site.publish("creds...", ("a@x.example",), now=5.0)
+        assert site.pastes == (paste,)
+        assert paste.published_at == 5.0
+
+
+class TestForums:
+    def test_post_requires_registration(self):
+        forum = UndergroundForum.from_name("hackforums.net")
+        with pytest.raises(LeakError):
+            forum.post_teaser("ghost", "text", ("a@x.example",), 0.0)
+
+    def test_register_and_post(self):
+        forum = UndergroundForum.from_name("hackforums.net")
+        forum.register("freshseller42")
+        post = forum.post_teaser(
+            "freshseller42", "teaser", ("a@x.example",), 1.0
+        )
+        assert forum.posts == (post,)
+        assert forum.is_member("freshseller42")
+
+    def test_duplicate_registration(self):
+        forum = UndergroundForum.from_name("blackhatworld.com")
+        forum.register("dup")
+        with pytest.raises(LeakError):
+            forum.register("dup")
+
+    def test_inquiries_logged_but_never_answered(self, rng):
+        forum = UndergroundForum.from_name("hackforums.net")
+        forum.register("seller")
+        post = forum.post_teaser("seller", "teaser", ("a@x.example",), 0.0)
+        replies = forum.generate_inquiries(post, random.Random(2))
+        assert post.replies == replies
+        for reply in replies:
+            assert reply.posted_at >= post.posted_at
+
+    def test_unknown_forum(self):
+        with pytest.raises(LeakError):
+            UndergroundForum.from_name("not-a-forum.example")
+
+
+class TestPoisson:
+    def test_zero_mean(self, rng):
+        assert _poisson(rng, 0.0) == 0
+
+    def test_mean_roughly_respected(self):
+        rng = random.Random(9)
+        samples = [_poisson(rng, 3.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 2.7 < mean < 3.3
+
+
+class TestLedger:
+    def make_event(self, address, outlet=OutletKind.PASTE, when=1.0):
+        plan = paper_leak_plan()
+        group = (
+            plan.group("paste_popular_noloc")
+            if outlet is OutletKind.PASTE
+            else plan.group("forum_noloc")
+        )
+        identity = IdentityFactory(random.Random(4)).create()
+        content = leak_content_for(
+            identity, Credentials(address, "p12345"), LocationHint.NONE
+        )
+        return LeakEvent(
+            content=content, group=group, venue="pastebin.com",
+            leak_time=when,
+        )
+
+    def test_first_leak_time(self):
+        ledger = LeakLedger()
+        ledger.record(self.make_event("a@x.example", when=5.0))
+        ledger.record(self.make_event("a@x.example", when=2.0))
+        assert ledger.first_leak_time("a@x.example") == 2.0
+        assert ledger.first_leak_time("ghost@x.example") is None
+
+    def test_events_for_outlet(self):
+        ledger = LeakLedger()
+        ledger.record(self.make_event("a@x.example"))
+        ledger.record(
+            self.make_event("b@x.example", outlet=OutletKind.FORUM)
+        )
+        paste_events = ledger.events_for_outlet(OutletKind.PASTE)
+        assert len(paste_events) == 1
+        assert ledger.leaked_accounts() == {"a@x.example", "b@x.example"}

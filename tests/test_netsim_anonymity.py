@@ -1,0 +1,109 @@
+"""Tests for repro.netsim.anonymity and blacklist and fingerprint."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.netsim.blacklist import IPBlacklist
+from repro.netsim.fingerprint import (
+    DeviceKind,
+    fingerprint_from_user_agent,
+)
+from repro.netsim.ipaddr import IPAddress
+from repro.netsim.useragents import build_user_agent
+
+
+@pytest.fixture()
+def anonymity(geo, rng):
+    return AnonymityNetwork(geo, rng, tor_exit_count=10, proxy_count=5)
+
+
+class TestAnonymityNetwork:
+    def test_tor_exits_have_no_location(self, geo, anonymity):
+        node = anonymity.pick_tor_exit()
+        assert geo.locate(node.address) is None
+
+    def test_proxies_have_no_location(self, geo, anonymity):
+        node = anonymity.pick_proxy()
+        assert geo.locate(node.address) is None
+
+    def test_classify(self, anonymity):
+        tor = anonymity.pick_tor_exit()
+        proxy = anonymity.pick_proxy()
+        assert anonymity.classify(tor.address) is OriginKind.TOR
+        assert anonymity.classify(proxy.address) is OriginKind.PROXY
+        other = IPAddress.from_string("203.0.113.9")
+        assert anonymity.classify(other) is OriginKind.DIRECT
+
+    def test_pick_by_kind(self, anonymity):
+        assert anonymity.pick(OriginKind.TOR).kind is OriginKind.TOR
+        assert anonymity.pick(OriginKind.PROXY).kind is OriginKind.PROXY
+
+    def test_pick_direct_rejected(self, anonymity):
+        with pytest.raises(ConfigurationError):
+            anonymity.pick(OriginKind.DIRECT)
+
+    def test_counts(self, anonymity):
+        assert anonymity.tor_exit_count == 10
+        assert anonymity.proxy_count == 5
+
+    def test_exit_reuse_possible(self, geo, rng):
+        network = AnonymityNetwork(geo, rng, tor_exit_count=2, proxy_count=2)
+        seen = {network.pick_tor_exit().address for _ in range(50)}
+        assert len(seen) == 2  # both exits get reused
+
+    def test_invalid_counts(self, geo, rng):
+        with pytest.raises(ConfigurationError):
+            AnonymityNetwork(geo, rng, tor_exit_count=0)
+
+
+class TestBlacklist:
+    def test_listing_and_lookup(self):
+        blacklist = IPBlacklist()
+        addr = IPAddress.from_string("198.51.100.3")
+        blacklist.list_address(addr, reason="botnet", listed_at=5.0)
+        assert addr in blacklist
+        assert blacklist.lookup(addr).reason == "botnet"
+        assert len(blacklist) == 1
+
+    def test_first_reason_wins(self):
+        blacklist = IPBlacklist()
+        addr = IPAddress.from_string("198.51.100.3")
+        blacklist.list_address(addr, reason="first")
+        blacklist.list_address(addr, reason="second")
+        assert blacklist.lookup(addr).reason == "first"
+
+    def test_hits(self):
+        blacklist = IPBlacklist()
+        listed = IPAddress.from_string("198.51.100.1")
+        clean = IPAddress.from_string("198.51.100.2")
+        blacklist.list_address(listed, reason="spam")
+        assert blacklist.hits([listed, clean]) == [listed]
+
+    def test_extend_and_iter(self):
+        blacklist = IPBlacklist()
+        addresses = [
+            IPAddress.from_string(f"198.51.100.{i}") for i in range(5)
+        ]
+        blacklist.extend(addresses, reason="campaign")
+        assert {e.address for e in blacklist} == set(addresses)
+
+
+class TestFingerprint:
+    def test_empty_ua(self):
+        fp = fingerprint_from_user_agent("")
+        assert fp.kind is DeviceKind.UNKNOWN
+        assert fp.is_empty_user_agent
+
+    def test_desktop(self):
+        ua = build_user_agent("chrome", "windows7", "43.0.2357")
+        fp = fingerprint_from_user_agent(ua)
+        assert fp.kind is DeviceKind.DESKTOP
+        assert fp.os_family == "Windows"
+        assert not fp.is_empty_user_agent
+
+    def test_android(self):
+        ua = build_user_agent("chrome", "android", "44.0.2403")
+        assert fingerprint_from_user_agent(ua).kind is DeviceKind.ANDROID

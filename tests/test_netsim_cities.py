@@ -1,0 +1,76 @@
+"""Tests for repro.netsim.cities."""
+
+import pytest
+
+from repro.netsim.cities import (
+    UK_MIDPOINT,
+    US_MIDPOINT,
+    all_cities,
+    cities_in_region,
+    city_by_name,
+    countries,
+    iter_cities,
+    regions,
+)
+
+
+class TestLookups:
+    def test_case_insensitive(self):
+        assert city_by_name("london") is city_by_name("London")
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            city_by_name("Atlantis")
+
+    def test_midpoints_match_paper(self):
+        # London and Pontiac, IL are the advertised-location midpoints.
+        assert UK_MIDPOINT.name == "London"
+        assert US_MIDPOINT.name == "Pontiac"
+        assert US_MIDPOINT.country == "US"
+
+    def test_coordinates_accessor(self):
+        assert UK_MIDPOINT.coordinates == (
+            UK_MIDPOINT.latitude,
+            UK_MIDPOINT.longitude,
+        )
+
+
+class TestRegions:
+    def test_known_regions_present(self):
+        expected = {"uk", "us_midwest", "europe", "russia_cis", "asia"}
+        assert expected <= set(regions())
+
+    def test_uk_cities_are_british(self):
+        assert all(c.country == "GB" for c in cities_in_region("uk"))
+
+    def test_midwest_cities_are_american(self):
+        midwest = cities_in_region("us_midwest")
+        assert all(c.country == "US" for c in midwest)
+        assert any(c.name == "Chicago" for c in midwest)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            cities_in_region("atlantis")
+
+    def test_regions_partition_cities(self):
+        total = sum(len(cities_in_region(r)) for r in regions())
+        assert total == len(all_cities())
+
+
+class TestDatabaseShape:
+    def test_enough_cities_for_the_study(self):
+        assert len(all_cities()) >= 100
+
+    def test_enough_countries(self):
+        # The paper observed accesses from 29 countries; the database
+        # must offer comfortably more than that.
+        assert len(countries()) >= 40
+
+    def test_no_duplicate_names(self):
+        names = [c.name.lower() for c in iter_cities()]
+        assert len(names) == len(set(names))
+
+    def test_coordinates_plausible(self):
+        for city in iter_cities():
+            assert -90 <= city.latitude <= 90
+            assert -180 <= city.longitude <= 180

@@ -1,0 +1,90 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+def make_queue():
+    return EventQueue(), []
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue, fired = make_queue()
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 2.0
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        late = queue.push(1.0, lambda: None, priority=5, label="late")
+        early = queue.push(1.0, lambda: None, priority=1, label="early")
+        assert queue.pop() is early
+        assert queue.pop() is late
+
+    def test_insertion_order_breaks_full_ties(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_drain_yields_in_order(self):
+        queue = EventQueue()
+        times = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for t in times:
+            queue.push(t, lambda: None)
+        assert [e.time for e in queue.drain()] == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.pop() is second
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(a)
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(a)
+        assert queue.peek_time() == 2.0
+
+
+class TestErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(1.0, "not-callable")
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue

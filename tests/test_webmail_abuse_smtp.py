@@ -1,0 +1,173 @@
+"""Tests for repro.webmail.abuse and repro.webmail.smtp."""
+
+import random
+
+import pytest
+
+from repro.webmail.abuse import AbusePolicy, AntiAbuseEngine
+from repro.webmail.account import Credentials, WebmailAccount
+from repro.webmail.message import EmailMessage
+from repro.webmail.smtp import DeliveryOutcome, OutboundRouter
+
+
+def make_account(address="spam.me@gmail.example"):
+    return WebmailAccount(
+        credentials=Credentials(address, "pass1234"),
+        display_name="Spam Me",
+    )
+
+
+def make_engine(**policy_overrides):
+    policy = AbusePolicy(**policy_overrides)
+    return AntiAbuseEngine(policy=policy, rng=random.Random(1))
+
+
+def make_message():
+    return EmailMessage(
+        sender_name="X",
+        sender_address="x@y.example",
+        recipient_addresses=("z@w.example",),
+        subject="s",
+        body="b",
+        received_at=0.0,
+    )
+
+
+class TestAbusePolicy:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            AbusePolicy(spam_block_probability=1.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AbusePolicy(burst_threshold=0)
+
+
+class TestSpamDetection:
+    def test_slow_sending_is_fine(self):
+        engine = make_engine(burst_threshold=10)
+        account = make_account()
+        for i in range(50):
+            blocked = engine.observe_send(account, 1, now=i * 3600.0)
+            assert not blocked
+        assert not account.is_blocked
+
+    def test_burst_blocks_with_certainty(self):
+        engine = make_engine(burst_threshold=10, spam_block_probability=1.0)
+        account = make_account()
+        blocked = False
+        for i in range(20):
+            blocked = engine.observe_send(account, 1, now=float(i))
+            if blocked:
+                break
+        assert blocked and account.is_blocked
+        assert account.blocked_reason == "spam-burst"
+
+    def test_recipient_count_counts(self):
+        engine = make_engine(burst_threshold=10, spam_block_probability=1.0)
+        account = make_account()
+        blocked = engine.observe_send(account, 30, now=0.0)
+        assert blocked
+
+    def test_zero_probability_never_blocks(self):
+        engine = make_engine(burst_threshold=5, spam_block_probability=0.0)
+        account = make_account()
+        for i in range(50):
+            assert not engine.observe_send(account, 1, now=float(i))
+
+
+class TestOtherSignals:
+    def test_hijack_block(self):
+        engine = make_engine(hijack_block_probability=1.0)
+        account = make_account()
+        assert engine.observe_password_change(account, now=0.0)
+        assert account.blocked_reason == "hijack-activity"
+
+    def test_blacklisted_login_block(self):
+        engine = make_engine(blacklisted_login_block_probability=1.0)
+        account = make_account()
+        assert engine.observe_login_signal(
+            account, blacklisted_ip=True, anonymised=False, now=0.0
+        )
+        assert account.blocked_reason == "blacklisted-ip-activity"
+
+    def test_tor_login_block(self):
+        engine = make_engine(tor_login_block_probability=1.0)
+        account = make_account()
+        assert engine.observe_login_signal(
+            account, blacklisted_ip=False, anonymised=True, now=0.0
+        )
+
+    def test_clean_login_never_blocks(self):
+        engine = make_engine(
+            blacklisted_login_block_probability=1.0,
+            tor_login_block_probability=1.0,
+        )
+        account = make_account()
+        assert not engine.observe_login_signal(
+            account, blacklisted_ip=False, anonymised=False, now=0.0
+        )
+
+    def test_search_burst_block(self):
+        engine = make_engine(search_abuse_block_probability=1.0)
+        account = make_account()
+        assert engine.observe_search_burst(account, now=0.0)
+
+    def test_blocked_count(self):
+        engine = make_engine(hijack_block_probability=1.0)
+        engine.observe_password_change(make_account("a@x.example"), 0.0)
+        engine.observe_password_change(make_account("b@x.example"), 0.0)
+        assert engine.blocked_count == 2
+
+
+class SinkStub:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, sent):
+        self.received.append(sent)
+
+
+class TestOutboundRouter:
+    def test_sinkhole_override(self):
+        router = OutboundRouter()
+        sink = SinkStub()
+        router.register_sink("dump@sinkhole.example", sink)
+        sent = router.send(
+            "honey@gmail.example",
+            make_message(),
+            ("victim@real.example",),
+            send_from_override="dump@sinkhole.example",
+            timestamp=1.0,
+        )
+        assert sent.outcome is DeliveryOutcome.SINKHOLED
+        assert sink.received == [sent]
+
+    def test_delivery_without_override(self):
+        router = OutboundRouter()
+        delivered = []
+        router.set_inbound_delivery(
+            lambda recipient, message: delivered.append(recipient) or True
+        )
+        sent = router.send(
+            "user@gmail.example",
+            make_message(),
+            ("other@gmail.example",),
+            send_from_override=None,
+            timestamp=1.0,
+        )
+        assert sent.outcome is DeliveryOutcome.DELIVERED
+        assert delivered == ["other@gmail.example"]
+
+    def test_ledger_and_sent_by(self):
+        router = OutboundRouter()
+        router.send(
+            "a@x.example", make_message(), ("b@x.example",),
+            send_from_override=None, timestamp=1.0,
+        )
+        router.record_blocked(
+            "a@x.example", make_message(), ("c@x.example",), timestamp=2.0
+        )
+        assert len(router.ledger) == 2
+        assert len(router.sent_by("a@x.example")) == 2
+        assert router.ledger[1].outcome is DeliveryOutcome.BLOCKED

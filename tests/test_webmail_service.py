@@ -1,0 +1,218 @@
+"""Tests for repro.webmail.service (plus sessions/activity integration)."""
+
+import pytest
+
+from repro.errors import (
+    AccountBlockedError,
+    AuthenticationError,
+    NoSuchAccountError,
+)
+from repro.netsim.cities import city_by_name
+from repro.webmail.account import Credentials
+from repro.webmail.mailbox import Folder
+from repro.webmail.message import EmailMessage
+from repro.webmail.service import LoginContext, WebmailService
+
+PASSWORD = "hunter2hunter2"
+
+
+@pytest.fixture()
+def account_address(service):
+    service.create_account(
+        Credentials("alice.smith@gmail.example", PASSWORD), "Alice Smith"
+    )
+    return "alice.smith@gmail.example"
+
+
+def make_context(geo, device="dev-1", city="Paris"):
+    return LoginContext(
+        device_id=device,
+        ip_address=geo.allocate_in_city(city_by_name(city)),
+        user_agent="",
+    )
+
+
+def login(service, geo, address, device="dev-1", now=0.0, city="Paris"):
+    return service.login(
+        address, PASSWORD, make_context(geo, device, city), now
+    )
+
+
+def seed_inbox(service, address, subject, body):
+    account = service.account(address)
+    return account.mailbox.add(
+        Folder.INBOX,
+        EmailMessage(
+            sender_name="Bob",
+            sender_address="bob@corp.example",
+            recipient_addresses=(address,),
+            subject=subject,
+            body=body,
+            received_at=-10.0,
+        ),
+    )
+
+
+class TestAccounts:
+    def test_duplicate_address_rejected(self, service, account_address):
+        with pytest.raises(NoSuchAccountError):
+            service.create_account(
+                Credentials(account_address, "x1"), "Clone"
+            )
+
+    def test_unknown_account(self, service):
+        with pytest.raises(NoSuchAccountError):
+            service.account("nobody@gmail.example")
+
+    def test_has_account(self, service, account_address):
+        assert service.has_account(account_address)
+        assert not service.has_account("ghost@gmail.example")
+
+
+class TestLogin:
+    def test_wrong_password(self, service, geo, account_address):
+        with pytest.raises(AuthenticationError):
+            service.login(
+                account_address, "wrong", make_context(geo), 0.0
+            )
+
+    def test_login_records_access(self, service, geo, account_address):
+        session = login(service, geo, account_address)
+        events = service.activity.events_for(account_address)
+        assert len(events) == 1
+        assert events[0].cookie == session.cookie
+        assert events[0].location.city == "Paris"
+
+    def test_same_device_same_cookie(self, service, geo, account_address):
+        first = login(service, geo, account_address, now=0.0)
+        second = login(service, geo, account_address, now=100.0)
+        assert first.cookie == second.cookie
+
+    def test_different_devices_different_cookies(
+        self, service, geo, account_address
+    ):
+        a = login(service, geo, account_address, device="dev-1")
+        b = login(service, geo, account_address, device="dev-2")
+        assert a.cookie != b.cookie
+
+    def test_tor_access_has_no_location(self, service, geo, account_address):
+        geo.register_unlocated_pool("anon:tor-test", 2)
+        context = LoginContext(
+            device_id="tor-dev",
+            ip_address=geo.allocate_unlocated("anon:tor-test"),
+            user_agent="",
+        )
+        service.login(account_address, PASSWORD, context, 0.0)
+        event = service.activity.events_for(account_address)[-1]
+        assert event.location is None
+
+
+class TestMailboxOperations:
+    def test_read_marks_message(self, service, geo, account_address):
+        message = seed_inbox(service, account_address, "hi", "there")
+        session = login(service, geo, account_address)
+        service.read_message(session, message.message_id, 5.0)
+        assert message.flags.read
+
+    def test_star(self, service, geo, account_address):
+        message = seed_inbox(service, account_address, "hi", "there")
+        session = login(service, geo, account_address)
+        service.star_message(session, message.message_id, 5.0)
+        assert message.flags.starred
+
+    def test_search_logs_query(self, service, geo, account_address):
+        seed_inbox(service, account_address, "wire payment", "due friday")
+        session = login(service, geo, account_address)
+        results = service.search(session, "payment", 5.0)
+        assert len(results) == 1
+        assert service.search_log[-1].query == "payment"
+        assert service.search_log[-1].result_count == 1
+
+    def test_create_draft(self, service, geo, account_address):
+        session = login(service, geo, account_address)
+        draft = service.create_draft(
+            session, "plan", "secret", ("x@y.example",), 5.0
+        )
+        account = service.account(account_address)
+        assert account.mailbox.folder_of(draft.message_id) is Folder.DRAFTS
+
+    def test_send_email_lands_in_sent(self, service, geo, account_address):
+        session = login(service, geo, account_address)
+        sent = service.send_email(
+            session, "hello", "world", ("x@y.example",), 5.0
+        )
+        account = service.account(account_address)
+        assert account.mailbox.folder_of(
+            sent.message.message_id
+        ) is Folder.SENT
+
+    def test_send_draft_moves_it(self, service, geo, account_address):
+        session = login(service, geo, account_address)
+        draft = service.create_draft(
+            session, "plan", "body", ("x@y.example",), 5.0
+        )
+        service.send_email(
+            session, "", "", ("x@y.example",), 6.0,
+            draft_id=draft.message_id,
+        )
+        account = service.account(account_address)
+        assert account.mailbox.folder_of(draft.message_id) is Folder.SENT
+
+    def test_local_delivery(self, service, geo, account_address):
+        service.create_account(
+            Credentials("carol.jones@gmail.example", PASSWORD), "Carol"
+        )
+        session = login(service, geo, account_address)
+        service.send_email(
+            session, "inter", "nal", ("carol.jones@gmail.example",), 5.0
+        )
+        carol = service.account("carol.jones@gmail.example")
+        assert carol.mailbox.count(Folder.INBOX) == 1
+
+
+class TestPasswordChangeAndBlocking:
+    def test_password_change_locks_out_old_credentials(
+        self, service, geo, account_address
+    ):
+        session = login(service, geo, account_address)
+        service.change_password(session, "newpass99", 5.0)
+        with pytest.raises(AuthenticationError):
+            login(service, geo, account_address, device="dev-2", now=6.0)
+
+    def test_new_password_works(self, service, geo, account_address):
+        session = login(service, geo, account_address)
+        service.change_password(session, "newpass99", 5.0)
+        relogin = service.login(
+            account_address, "newpass99", make_context(geo, "dev-3"), 7.0
+        )
+        assert relogin.account_address == account_address
+
+    def test_blocked_account_rejects_login(
+        self, service, geo, account_address
+    ):
+        account = service.account(account_address)
+        account.block("spam", 5.0)
+        with pytest.raises(AccountBlockedError):
+            login(service, geo, account_address, now=6.0)
+
+    def test_inbound_delivery_helper(self, service, account_address):
+        ok = service.deliver_inbound(
+            account_address,
+            EmailMessage(
+                sender_name="Forum",
+                sender_address="noreply@forum.example",
+                recipient_addresses=(account_address,),
+                subject="confirm",
+                body="token",
+                received_at=3.0,
+            ),
+        )
+        assert ok
+        assert not service.deliver_inbound(
+            "ghost@gmail.example",
+            EmailMessage(
+                sender_name="x", sender_address="x@y",
+                recipient_addresses=(), subject="", body="",
+                received_at=0.0,
+            ),
+        )
