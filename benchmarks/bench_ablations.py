@@ -13,28 +13,27 @@ Three ablations, each re-running a shortened experiment:
 
 from conftest import BENCH_SEED, print_comparison
 
-from repro.analysis.dataset import analyze
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.api import run_scenario
+from repro.api.registry import scenarios
 from repro.sim.clock import hours
 
 
 def _short_config(seed=BENCH_SEED, **overrides):
-    base = dict(
-        master_seed=seed,
-        duration_days=120.0,
-        scan_period=hours(2),
-        scrape_period=hours(3),
-        emails_per_account=(40, 60),
+    return (
+        scenarios.get("fast")
+        .to_builder()
+        .named("ablation")
+        .with_seed(seed)
+        .with_duration_days(120.0)
+        .with_emails_per_account(40, 60)
+        .with_config(**overrides)
+        .build()
     )
-    base.update(overrides)
-    return ExperimentConfig(**base)
 
 
-def _run(config):
-    result = Experiment(config).run()
-    return result, analyze(
-        result.dataset, scan_period=config.scan_period
-    )
+def _run(scenario):
+    run = run_scenario(scenario)
+    return run, run.analysis
 
 
 def bench_ablation_no_case_studies(benchmark):

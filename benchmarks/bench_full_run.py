@@ -6,15 +6,13 @@ other benchmarks measure the per-figure analysis steps on a shared run.
 
 from conftest import BENCH_SEED, print_comparison
 
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.api import run_scenario
+from repro.api.registry import scenarios
 
 
 def bench_full_experiment(benchmark):
     def run():
-        experiment = Experiment(
-            ExperimentConfig.fast(master_seed=BENCH_SEED)
-        )
-        return experiment.run()
+        return run_scenario(scenarios.get("fast"), seed=BENCH_SEED)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     print_comparison(

@@ -9,25 +9,27 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.dataset import analyze
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.api import run_scenario
+from repro.api.registry import scenarios
 
 BENCH_SEED = 2016
 
 
 @pytest.fixture(scope="session")
-def experiment_result():
+def experiment_run():
     """The shared measurement run all benchmarks analyse."""
-    experiment = Experiment(ExperimentConfig.fast(master_seed=BENCH_SEED))
-    return experiment.run()
+    return run_scenario(scenarios.get("fast"), seed=BENCH_SEED)
 
 
 @pytest.fixture(scope="session")
-def analysis(experiment_result):
-    return analyze(
-        experiment_result.dataset,
-        scan_period=experiment_result.config.scan_period,
-    )
+def experiment_result(experiment_run):
+    """The live ExperimentResult behind the shared run."""
+    return experiment_run.experiment_result
+
+
+@pytest.fixture(scope="session")
+def analysis(experiment_run):
+    return experiment_run.analysis
 
 
 def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:

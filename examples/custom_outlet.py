@@ -11,11 +11,9 @@ Run:  python examples/custom_outlet.py
 
 from __future__ import annotations
 
-from repro import analyze, overview
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro import Scenario
 from repro.core.groups import GroupSpec, LeakPlan, LocationHint, OutletKind
 from repro.leaks.pastesites import SITE_PROFILES, PasteSiteProfile
-from repro.sim.clock import hours
 
 
 def main() -> None:
@@ -42,21 +40,26 @@ def main() -> None:
         )
     )
 
-    # 3. Run a shortened measurement on the custom plan.
-    config = ExperimentConfig(
-        master_seed=99,
-        duration_days=90.0,
-        scan_period=hours(2),
-        scrape_period=hours(3),
-        emails_per_account=(40, 60),
-        enable_case_studies=False,
+    # 3. Declare the deployment as a scenario and run it.  The builder
+    # handles the config plumbing; the RunResult envelope hands back the
+    # analysis with the right scan period.
+    scenario = (
+        Scenario.builder()
+        .named("dumpz-trial")
+        .described("12 UK-location accounts leaked on dumpz.example")
+        .with_seed(99)
+        .with_duration_days(90.0)
+        .fast_cadence()
+        .with_emails_per_account(40, 60)
+        .without_case_studies()
+        .with_leak_plan(plan)
+        .build()
     )
-    experiment = Experiment(config, leak_plan=plan)
-    result = experiment.run()
-    analysis = analyze(result.dataset, scan_period=config.scan_period)
-    stats = overview(analysis, result.blacklisted_ips)
+    run = scenario.run()
+    analysis = run.analysis
+    stats = run.overview()
 
-    print(f"accounts deployed: {result.account_count}")
+    print(f"accounts deployed: {run.account_count}")
     print(f"unique accesses in 90 days: {stats.unique_accesses}")
     print(f"label totals: {stats.label_totals}")
     delays = analysis.delays_by_group.get("dumpz_trial", [])

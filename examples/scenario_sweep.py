@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Multi-seed sweeps: how stable are the paper's findings across runs?
+
+The paper reports one 7-month deployment.  The batch API re-runs the
+same methodology under many master seeds (i.e. many counterfactual
+deployments) and aggregates: mean/stdev/min/max of every overview
+statistic, plus Cramér-von Mises tests on the *pooled* distance
+vectors, which gain power over any single run.
+
+Run:  python examples/scenario_sweep.py [jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import BatchRunner, scenarios
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+
+    # A shortened variant keeps the example snappy; drop the override
+    # to sweep full 7-month deployments.
+    scenario = (
+        scenarios.get("fast")
+        .to_builder()
+        .named("fast-90d")
+        .with_duration_days(90.0)
+        .build()
+    )
+
+    seeds = list(range(2016, 2021))
+    print(f"sweeping {scenario.name} over seeds {seeds} "
+          f"(jobs={jobs})...")
+    started = time.time()
+    batch = BatchRunner(jobs=jobs).run(scenario, seeds)
+    print(f"done in {time.time() - started:.1f}s\n")
+
+    for run in batch.runs:
+        stats = run.overview()
+        print(f"  seed={run.seed}: accesses={stats.unique_accesses:4d} "
+              f"read={stats.emails_read:4d} sent={stats.emails_sent:4d} "
+              f"blocked={stats.blocked_accounts:3d} "
+              f"({run.elapsed_seconds:.1f}s)")
+
+    print()
+    print(batch.aggregate().format())
+    print("\npaper single-run values: accesses 327, read 147, sent 845, "
+          "blocked 42; paste CvM rejects (p<0.01), forum CvM keeps")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,19 +7,54 @@ provider, leak outlets, malware sandbox, and internet substrate it runs
 on, a calibrated attacker population standing in for live criminal
 traffic, and the full Section 4 analysis pipeline.
 
-Quickstart::
+Quickstart — one run of a named scenario::
 
-    from repro import run_paper_experiment, analyze, overview
+    from repro import scenarios
 
-    result = run_paper_experiment(seed=2016)
-    analysis = analyze(result.dataset, scan_period=result.config.scan_period)
-    print(overview(analysis, result.blacklisted_ips))
+    run = scenarios.get("fast").run(seed=2016)   # a RunResult envelope
+    stats = run.overview()                        # Section 4.1 numbers
+    print(stats.unique_accesses, run.significance())
+    run.analysis                                  # full Section 4 bundle,
+                                                  # correct scan period,
+                                                  # computed once, cached
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for
-paper-vs-measured numbers on every table and figure.
+Sweeps — many seeds and scenario variants, optionally on a process
+pool, with cross-seed aggregates and pooled significance tests::
+
+    from repro import BatchRunner, Scenario, scenarios
+
+    batch = BatchRunner(jobs=4).run(
+        scenarios.get("fast"), seeds=range(2016, 2024)
+    )
+    print(batch.aggregate().format())
+
+    variant = (
+        Scenario.builder()
+        .named("half-size-no-incidents")
+        .without_case_studies()
+        .scale_accounts(0.5)
+        .build()
+    )
+    batch = BatchRunner(jobs=4).run_matrix(
+        [scenarios.get("fast"), variant], seeds=[1, 2, 3]
+    )
+
+The CLI mirrors the API: ``python -m repro run --scenario paste_only``,
+``python -m repro sweep --seeds 2016..2023 --jobs 4``, ``python -m
+repro scenarios``, ``python -m repro compare``.  ``run_paper_experiment``
+remains as a thin shim over the ``fast``/``paper_default`` scenarios for
+existing scripts.
+
+See docs/API.md for the scenario/batch API, DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured numbers on every
+table and figure.
 """
 
-from repro.analysis.dataset import AnalysisResults, analyze
+from repro.analysis.dataset import (
+    AnalysisResults,
+    analyze,
+    analyze_experiment,
+)
 from repro.analysis.report import (
     OverviewStats,
     SignificanceTests,
@@ -27,6 +62,16 @@ from repro.analysis.report import (
     format_taxonomy_summary,
     overview,
     significance_tests,
+)
+from repro.api import (
+    AggregateStats,
+    BatchResult,
+    BatchRunner,
+    RunResult,
+    Scenario,
+    ScenarioBuilder,
+    run_scenario,
+    scenarios,
 )
 from repro.core.experiment import (
     Experiment,
@@ -36,23 +81,32 @@ from repro.core.experiment import (
 )
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AggregateStats",
     "AnalysisResults",
+    "BatchResult",
+    "BatchRunner",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
     "LeakPlan",
     "OutletKind",
     "OverviewStats",
+    "RunResult",
+    "Scenario",
+    "ScenarioBuilder",
     "SignificanceTests",
     "__version__",
     "analyze",
+    "analyze_experiment",
     "format_table2",
     "format_taxonomy_summary",
     "overview",
     "paper_leak_plan",
     "run_paper_experiment",
+    "run_scenario",
+    "scenarios",
     "significance_tests",
 ]

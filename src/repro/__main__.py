@@ -1,0 +1,12 @@
+"""Package entry point: makes ``python -m repro <command>`` work.
+
+Delegates to :func:`repro.cli.main`; ``python -m repro.cli`` remains
+supported for existing scripts.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

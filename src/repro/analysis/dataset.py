@@ -58,6 +58,9 @@ class AnalysisResults:
     located_accesses: int = 0
     unlocated_accesses: int = 0
     countries: set[str] = field(default_factory=set)
+    #: The scan period the accesses were classified under; recorded so
+    #: downstream consumers can tell which cadence produced the labels.
+    scan_period: float = hours(2)
 
     @property
     def total_unique_accesses(self) -> int:
@@ -91,10 +94,27 @@ def _count_actions(dataset: ObservedDataset) -> tuple[int, int, int]:
     return len(read_messages), sent, len(draft_messages)
 
 
+def analyze_experiment(result) -> AnalysisResults:
+    """Analyse an :class:`~repro.core.experiment.ExperimentResult`.
+
+    Unlike calling :func:`analyze` on the bare dataset, this always uses
+    the scan period the run was configured with, so taxonomy labels are
+    classified against the cadence that actually produced the
+    notifications.  (:class:`repro.api.RunResult` bakes the same
+    guarantee into its cached ``analysis`` property.)
+    """
+    return analyze(result.dataset, scan_period=result.config.scan_period)
+
+
 def analyze(
     dataset: ObservedDataset, *, scan_period: float = hours(2)
 ) -> AnalysisResults:
-    """Run the full analysis pipeline over one observed dataset."""
+    """Run the full analysis pipeline over one observed dataset.
+
+    ``scan_period`` must match the monitoring cadence that produced the
+    dataset; prefer :func:`analyze_experiment` (or
+    ``RunResult.analysis``) which propagate it automatically.
+    """
     unique_accesses = extract_unique_accesses(dataset)
     classified = classify_accesses(
         dataset, unique_accesses, scan_period=scan_period
@@ -124,5 +144,6 @@ def analyze(
         located_accesses=len(located),
         unlocated_accesses=len(unique_accesses) - len(located),
         countries={a.country for a in located if a.country},
+        scan_period=scan_period,
     )
     return results

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.analysis.cvm import CvmResult, cramer_von_mises_2samp
 from repro.analysis.dataset import AnalysisResults
 from repro.analysis.taxonomy import TaxonomyLabel
+from repro.errors import AnalysisError
 
 
 @dataclass
@@ -79,6 +80,17 @@ def overview(
     )
 
 
+#: The four Section 4.5 tests, the single source of truth shared with
+#: the batch API: (result name, panel, with-location category,
+#: no-location category).
+CVM_TESTS: tuple[tuple[str, str, str, str], ...] = (
+    ("paste_uk_p", "uk", "paste_uk", "paste_noloc"),
+    ("paste_us_p", "us", "paste_us", "paste_noloc"),
+    ("forum_uk_p", "uk", "forum_uk", "forum_noloc"),
+    ("forum_us_p", "us", "forum_us", "forum_noloc"),
+)
+
+
 @dataclass(frozen=True)
 class SignificanceTests:
     """The four Cramér-von Mises tests of Section 4.5."""
@@ -101,26 +113,45 @@ def significance_tests(results: AnalysisResults) -> SignificanceTests:
     """With-location vs no-location distance-vector tests.
 
     Each test compares the distance vector of a with-location category
-    against the matching no-location category on the same midpoint panel.
+    against the matching no-location category on the same midpoint
+    panel.  Raises :class:`~repro.errors.AnalysisError` when a panel
+    lacks samples; :func:`cvm_panel_p_values` is the tolerant variant.
     """
+    panels = {"uk": results.distances_uk, "us": results.distances_us}
+    outcomes = {
+        name: cramer_von_mises_2samp(
+            panels[panel].get(with_loc, []), panels[panel].get(no_loc, [])
+        )
+        for name, panel, with_loc, no_loc in CVM_TESTS
+    }
     return SignificanceTests(
-        paste_uk=cramer_von_mises_2samp(
-            results.distances_uk.get("paste_uk", []),
-            results.distances_uk.get("paste_noloc", []),
-        ),
-        paste_us=cramer_von_mises_2samp(
-            results.distances_us.get("paste_us", []),
-            results.distances_us.get("paste_noloc", []),
-        ),
-        forum_uk=cramer_von_mises_2samp(
-            results.distances_uk.get("forum_uk", []),
-            results.distances_uk.get("forum_noloc", []),
-        ),
-        forum_us=cramer_von_mises_2samp(
-            results.distances_us.get("forum_us", []),
-            results.distances_us.get("forum_noloc", []),
-        ),
+        paste_uk=outcomes["paste_uk_p"],
+        paste_us=outcomes["paste_us_p"],
+        forum_uk=outcomes["forum_uk_p"],
+        forum_us=outcomes["forum_us_p"],
     )
+
+
+def cvm_panel_p_values(
+    distances_uk: dict[str, list[float]],
+    distances_us: dict[str, list[float]],
+) -> dict[str, float]:
+    """Guarded CvM p-values over distance-vector panels.
+
+    Tests whose samples are too small (fewer than two observations on
+    either side) are skipped instead of raising, so scenarios that drop
+    whole outlets still report the tests they can support.
+    """
+    panels = {"uk": distances_uk, "us": distances_us}
+    p_values: dict[str, float] = {}
+    for name, panel, with_loc, no_loc in CVM_TESTS:
+        x = panels[panel].get(with_loc, [])
+        y = panels[panel].get(no_loc, [])
+        try:
+            p_values[name] = cramer_von_mises_2samp(x, y).p_value
+        except AnalysisError:
+            continue
+    return p_values
 
 
 def format_table2(results: AnalysisResults, k: int = 10) -> str:

@@ -1,0 +1,59 @@
+"""The composable experiment API.
+
+Three layers on top of :class:`repro.core.experiment.Experiment`:
+
+* :class:`Scenario` / :class:`ScenarioBuilder`
+  (:mod:`repro.api.scenario`) — declarative, JSON-serialisable
+  experiment definitions;
+* ``scenarios`` (:mod:`repro.api.registry`) — the named registry of
+  standard deployments (``paper_default``, ``fast``, ``paste_only``,
+  ``forum_only``, ``malware_only``, ``no_case_studies``, ``scaled``,
+  ``high_frequency_monitoring``);
+* :class:`BatchRunner` (:mod:`repro.api.runner`) — multi-seed /
+  multi-scenario sweeps on a process pool, returning per-run
+  :class:`RunResult` envelopes plus cross-seed aggregates.
+
+Quickstart::
+
+    from repro.api import BatchRunner, scenarios
+
+    run = scenarios.get("fast").run(seed=2016)
+    print(run.overview().unique_accesses)
+
+    batch = BatchRunner(jobs=2).run(
+        scenarios.get("fast"), seeds=[2016, 2017, 2018]
+    )
+    print(batch.aggregate().format())
+"""
+
+from repro.api.envelope import RunResult, cvm_panel_p_values, run_scenario
+from repro.api.registry import RegistryEntry, ScenarioRegistry, scenarios
+from repro.api.runner import (
+    AggregateStats,
+    BatchResult,
+    BatchRunner,
+    MetricSummary,
+    aggregate_runs,
+)
+from repro.api.scenario import (
+    SCENARIO_FORMAT_VERSION,
+    Scenario,
+    ScenarioBuilder,
+)
+
+__all__ = [
+    "AggregateStats",
+    "BatchResult",
+    "BatchRunner",
+    "MetricSummary",
+    "RegistryEntry",
+    "RunResult",
+    "SCENARIO_FORMAT_VERSION",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioRegistry",
+    "aggregate_runs",
+    "cvm_panel_p_values",
+    "run_scenario",
+    "scenarios",
+]

@@ -1,0 +1,173 @@
+"""The stable per-run results envelope.
+
+:class:`RunResult` is what every scenario execution returns, whether it
+ran inline, through :meth:`Scenario.run`, or on a
+:class:`~repro.api.runner.BatchRunner` worker process.  It fixes a
+long-standing footgun: ``analyze(dataset)`` defaults to a 2-hour scan
+period regardless of what cadence actually produced the dataset, so
+callers that forgot ``scan_period=result.config.scan_period`` silently
+misclassified accesses.  ``RunResult.analysis`` always analyses with the
+scan period the run was configured with, and caches the result.
+
+The envelope is picklable: the live :class:`ExperimentResult` (which
+holds the simulator, scheduled closures, and the full world graph) is
+kept only as an in-process convenience handle and dropped on
+serialization, while everything analysis needs — the observed dataset,
+the config, the blacklist snapshot — survives the trip across process
+boundaries intact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.dataset import AnalysisResults, analyze
+from repro.analysis.report import (
+    CVM_TESTS,
+    OverviewStats,
+    cvm_panel_p_values,
+    overview,
+)
+from repro.api.scenario import Scenario
+from repro.core.experiment import Experiment, ExperimentConfig, ExperimentResult
+from repro.core.records import ObservedDataset
+
+__all__ = [
+    "CVM_TESTS",
+    "RunResult",
+    "cvm_panel_p_values",
+    "run_scenario",
+]
+
+
+@dataclass
+class RunResult:
+    """One finished scenario run, ready for analysis and transport.
+
+    Attributes:
+        scenario: the scenario that produced the run (with the seed it
+            actually ran under).
+        seed: the master seed of the run.
+        dataset: the observed dataset the monitoring collected.
+        config: the experiment configuration of the run.
+        events_executed: simulation events executed.
+        blacklisted_ips: the external IP-reputation snapshot.
+        account_count: honey accounts deployed.
+        elapsed_seconds: wall-clock runtime of the measurement.
+        experiment_result: the live :class:`ExperimentResult` when the
+            run happened in this process; ``None`` after crossing a
+            process boundary (it is intentionally not serialized).
+    """
+
+    scenario: Scenario
+    seed: int
+    dataset: ObservedDataset
+    config: ExperimentConfig
+    events_executed: int
+    blacklisted_ips: set[str]
+    account_count: int
+    elapsed_seconds: float
+    experiment_result: ExperimentResult | None = field(
+        default=None, repr=False, compare=False
+    )
+    _analysis: AnalysisResults | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_experiment(
+        cls,
+        scenario: Scenario,
+        result: ExperimentResult,
+        elapsed_seconds: float,
+    ) -> "RunResult":
+        return cls(
+            scenario=scenario,
+            seed=result.config.master_seed,
+            dataset=result.dataset,
+            config=result.config,
+            events_executed=result.events_executed,
+            blacklisted_ips=set(result.blacklisted_ips),
+            account_count=result.account_count,
+            elapsed_seconds=elapsed_seconds,
+            experiment_result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    @property
+    def analysis(self) -> AnalysisResults:
+        """The Section 4 analysis, computed lazily and cached.
+
+        Always uses the scan period this run was configured with —
+        never the module-level default.
+        """
+        if self._analysis is None:
+            self._analysis = analyze(
+                self.dataset, scan_period=self.config.scan_period
+            )
+        return self._analysis
+
+    def overview(self) -> OverviewStats:
+        """Overview stats against this run's blacklist snapshot."""
+        return overview(self.analysis, self.blacklisted_ips)
+
+    def significance(self) -> dict[str, float]:
+        """The Section 4.5 CvM p-values that are computable on this run.
+
+        Outlet-restricted scenarios lack some with/without-location
+        panels entirely; those tests are omitted rather than raising.
+        """
+        analysis = self.analysis
+        return cvm_panel_p_values(
+            analysis.distances_uk, analysis.distances_us
+        )
+
+    def summary(self) -> dict:
+        """A compact JSON-serialisable record of the run."""
+        stats = self.overview()
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.seed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events_executed": self.events_executed,
+            "account_count": self.account_count,
+            "overview": {
+                "unique_accesses": stats.unique_accesses,
+                "emails_read": stats.emails_read,
+                "emails_sent": stats.emails_sent,
+                "unique_drafts": stats.unique_drafts,
+                "blocked_accounts": stats.blocked_accounts,
+                "located_accesses": stats.located_accesses,
+                "unlocated_accesses": stats.unlocated_accesses,
+                "country_count": stats.country_count,
+                "blacklist_hits": stats.blacklist_hits,
+                "accesses_per_outlet": dict(stats.accesses_per_outlet),
+                "label_totals": dict(stats.label_totals),
+            },
+            "cvm_tests": self.significance(),
+        }
+
+    # ------------------------------------------------------------------
+    # pickling: drop the live world and the analysis cache
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["experiment_result"] = None
+        state["_analysis"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def run_scenario(scenario: Scenario, seed: int | None = None) -> RunResult:
+    """Execute one scenario run and wrap it in a :class:`RunResult`."""
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+    started = time.perf_counter()
+    result = Experiment.from_scenario(scenario).run()
+    elapsed = time.perf_counter() - started
+    return RunResult.from_experiment(scenario, result, elapsed)

@@ -1,0 +1,272 @@
+"""The named scenario registry.
+
+``scenarios`` is the process-wide :class:`ScenarioRegistry` instance,
+pre-populated with the standard deployments.  Registry entries are
+*factories*: each ``get`` call builds a fresh :class:`Scenario`, and
+parametric entries (``scaled``) accept keyword arguments::
+
+    from repro.api import scenarios
+
+    scenarios.get("paper_default")          # the paper's exact setup
+    scenarios.get("fast")                   # relaxed cadence for tests
+    scenarios.get("scaled", n_accounts=400) # 4x the deployment
+
+Built-in names:
+
+======================== ==============================================
+``paper_default``        the paper's exact 7-month, 100-account setup
+``fast``                 paper setup with relaxed monitoring cadence
+``paste_only``           only the paste-site leak groups
+``forum_only``           only the underground-forum leak groups
+``malware_only``         only the malware sandbox leak groups
+``no_case_studies``      fast setup without the Section 4.7 incidents
+``scaled``               plan resized to ``n_accounts`` (default 200)
+``high_frequency_monitoring``  10-min scans + 30-min scrapes
+======================== ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.api.scenario import Scenario
+from repro.core.experiment import ExperimentConfig
+from repro.core.groups import OutletKind, paper_leak_plan
+from repro.errors import ConfigurationError
+from repro.sim.clock import minutes
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered scenario factory."""
+
+    name: str
+    summary: str
+    factory: Callable[..., Scenario]
+
+
+class ScenarioRegistry:
+    """Name -> scenario-factory mapping with introspection helpers."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Scenario],
+        *,
+        summary: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register ``factory`` under ``name``.
+
+        Re-registering an existing name requires ``replace=True`` so
+        plugins cannot shadow the built-ins by accident.
+        """
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                f"scenario {name!r} is already registered"
+            )
+        self._entries[name] = RegistryEntry(
+            name=name, summary=summary, factory=factory
+        )
+
+    def scenario(
+        self, name: str, *, summary: str = "", replace: bool = False
+    ) -> Callable[[Callable[..., Scenario]], Callable[..., Scenario]]:
+        """Decorator form of :meth:`register`."""
+
+        def decorate(factory: Callable[..., Scenario]):
+            self.register(name, factory, summary=summary, replace=replace)
+            return factory
+
+        return decorate
+
+    def get(self, name: str, **params) -> Scenario:
+        """Build the named scenario (parametric entries take kwargs)."""
+        try:
+            entry = self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; known scenarios: {known}"
+            ) from None
+        try:
+            built = entry.factory(**params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for scenario {name!r}: {exc}"
+            ) from exc
+        return built
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def describe(self, name: str, **params) -> str:
+        return self.get(name, **params).describe()
+
+    def summary(self, name: str) -> str:
+        try:
+            return self._entries[name].summary
+        except KeyError:
+            raise ConfigurationError(f"unknown scenario {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        for name in self.names():
+            yield self._entries[name]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide registry every public entry point consults.
+scenarios = ScenarioRegistry()
+
+
+def _base(name: str, description: str) -> Scenario:
+    return Scenario(
+        name=name,
+        config=ExperimentConfig(),
+        leak_plan=paper_leak_plan(),
+        description=description,
+    )
+
+
+@scenarios.scenario(
+    "paper_default",
+    summary="the paper's exact 7-month, 100-account deployment",
+)
+def _paper_default() -> Scenario:
+    return _base(
+        "paper_default",
+        "the paper's exact 7-month, 100-account deployment "
+        "(10-minute script scans)",
+    )
+
+
+@scenarios.scenario(
+    "fast",
+    summary="paper deployment with relaxed monitoring cadence",
+)
+def _fast() -> Scenario:
+    return (
+        _base(
+            "fast",
+            "paper deployment with the relaxed monitoring cadence used "
+            "by tests and benchmarks",
+        )
+        .to_builder()
+        .named("fast")
+        .fast_cadence()
+        .build()
+    )
+
+
+def _outlet_only(name: str, outlet: OutletKind, description: str) -> Scenario:
+    return (
+        _base(name, description)
+        .to_builder()
+        .named(name)
+        .described(description)
+        .fast_cadence()
+        .only_outlets(outlet)
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "paste_only", summary="only the paste-site leak groups"
+)
+def _paste_only() -> Scenario:
+    return _outlet_only(
+        "paste_only",
+        OutletKind.PASTE,
+        "paste-site outlets only (50 accounts across 4 groups)",
+    )
+
+
+@scenarios.scenario(
+    "forum_only", summary="only the underground-forum leak groups"
+)
+def _forum_only() -> Scenario:
+    return _outlet_only(
+        "forum_only",
+        OutletKind.FORUM,
+        "underground-forum outlets only (30 accounts across 3 groups)",
+    )
+
+
+@scenarios.scenario(
+    "malware_only", summary="only the malware sandbox leak groups"
+)
+def _malware_only() -> Scenario:
+    return _outlet_only(
+        "malware_only",
+        OutletKind.MALWARE,
+        "malware sandbox outlet only (20 accounts)",
+    )
+
+
+@scenarios.scenario(
+    "no_case_studies",
+    summary="fast deployment without the Section 4.7 incidents",
+)
+def _no_case_studies() -> Scenario:
+    description = (
+        "fast deployment with the scripted Section 4.7 case studies "
+        "(blackmail, quota, carding) disabled"
+    )
+    return (
+        _base("no_case_studies", description)
+        .to_builder()
+        .named("no_case_studies")
+        .described(description)
+        .fast_cadence()
+        .without_case_studies()
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "scaled",
+    summary="deployment resized to n_accounts honey accounts",
+)
+def _scaled(n_accounts: int = 200) -> Scenario:
+    description = (
+        f"fast deployment proportionally resized to {n_accounts} "
+        "honey accounts"
+    )
+    return (
+        _base("scaled", description)
+        .to_builder()
+        .named(f"scaled_{n_accounts}")
+        .described(description)
+        .fast_cadence()
+        .scaled_to(n_accounts)
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "high_frequency_monitoring",
+    summary="paper scans plus 30-minute activity-page scrapes",
+)
+def _high_frequency_monitoring() -> Scenario:
+    description = (
+        "densest monitoring: the paper's 10-minute script scans plus "
+        "30-minute activity-page scrapes (slowest to simulate)"
+    )
+    return (
+        _base("high_frequency_monitoring", description)
+        .to_builder()
+        .named("high_frequency_monitoring")
+        .described(description)
+        .with_scan_period(minutes(10))
+        .with_scrape_period(minutes(30))
+        .build()
+    )

@@ -1,0 +1,353 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` bundles everything that defines one deployment of
+the honey-account methodology — the :class:`ExperimentConfig`, the
+:class:`LeakPlan`, and (through the config) the attacker-population
+calibration — under a stable name.  Scenarios are immutable values:
+they serialize to JSON, round-trip losslessly, and can be shipped to
+worker processes, which is what keeps multi-seed sweeps deterministic
+(:mod:`repro.api.runner` rebuilds each run from the serialized form).
+
+Build variants fluently::
+
+    scenario = (
+        Scenario.builder()
+        .named("scaled-down-pilot")
+        .with_seed(7)
+        .without_case_studies()
+        .scale_accounts(0.5)
+        .build()
+    )
+    run = scenario.run()
+
+or start from a registry entry (:mod:`repro.api.registry`)::
+
+    from repro.api import scenarios
+    run = scenarios.get("paste_only").run(seed=2017)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.attackers.population import PopulationConfig
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+from repro.errors import ConfigurationError
+from repro.sim.clock import hours, minutes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.envelope import RunResult
+
+#: Version tag embedded in serialized scenarios so future layout changes
+#: can stay backward compatible.
+SCENARIO_FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: ExperimentConfig) -> dict:
+    data = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if f.name != "population"
+    }
+    data["emails_per_account"] = list(config.emails_per_account)
+    data["population"] = dataclasses.asdict(config.population)
+    return data
+
+
+def _config_from_dict(data: dict) -> ExperimentConfig:
+    try:
+        payload = dict(data)
+        payload["emails_per_account"] = tuple(
+            payload.get("emails_per_account", (150, 250))
+        )
+        payload["population"] = PopulationConfig(
+            **payload.get("population", {})
+        )
+        return ExperimentConfig(**payload)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad config payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, self-contained experiment definition.
+
+    Attributes:
+        name: stable identifier (registry key or user-chosen).
+        config: the full experiment configuration, including the
+            attacker-population calibration.
+        leak_plan: which accounts are leaked on which outlets.
+        description: one-line human summary shown by ``repro scenarios``.
+    """
+
+    name: str
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    leak_plan: LeakPlan = field(default_factory=paper_leak_plan)
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def seed(self) -> int:
+        return self.config.master_seed
+
+    @property
+    def account_count(self) -> int:
+        return self.leak_plan.total_accounts
+
+    @property
+    def outlets(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for group in self.leak_plan.groups:
+            if group.outlet.value not in seen:
+                seen.append(group.outlet.value)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """A short multi-line summary for CLI output."""
+        lines = [f"{self.name}: {self.description or '(no description)'}"]
+        lines.append(
+            f"  accounts={self.account_count} "
+            f"outlets={','.join(self.outlets)} "
+            f"duration={self.config.duration_days:g}d"
+        )
+        lines.append(
+            f"  seed={self.seed} "
+            f"scan={self.config.scan_period / 60.0:g}min "
+            f"scrape={self.config.scrape_period / 3600.0:g}h "
+            f"case_studies={'on' if self.config.enable_case_studies else 'off'}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # variants
+    # ------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario under a different master seed."""
+        if seed == self.config.master_seed:
+            return self
+        return replace(self, config=replace(self.config, master_seed=seed))
+
+    def with_name(self, name: str, description: str | None = None) -> "Scenario":
+        if description is None:
+            description = self.description
+        return replace(self, name=name, description=description)
+
+    @classmethod
+    def builder(cls, base: "Scenario | None" = None) -> "ScenarioBuilder":
+        """A fluent builder, starting from ``base`` or the paper default.
+
+        Note this is a *classmethod*: ``Scenario.builder()`` starts from
+        the paper-default scenario.  To derive from an existing instance
+        use :meth:`to_builder` (calling ``instance.builder()`` would
+        silently ignore the instance).
+        """
+        return ScenarioBuilder(base=base)
+
+    def to_builder(self) -> "ScenarioBuilder":
+        """A builder pre-loaded with this scenario's name/config/plan."""
+        return ScenarioBuilder(base=self)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def build_experiment(self, seed: int | None = None) -> Experiment:
+        """An (un-built) :class:`Experiment` configured by this scenario."""
+        return Experiment.from_scenario(self, seed=seed)
+
+    def run(self, seed: int | None = None) -> "RunResult":
+        """Run once and return the :class:`repro.api.RunResult` envelope."""
+        from repro.api.envelope import run_scenario
+
+        return run_scenario(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SCENARIO_FORMAT_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "config": _config_to_dict(self.config),
+            "leak_plan": self.leak_plan.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        version = data.get("format_version", SCENARIO_FORMAT_VERSION)
+        if version != SCENARIO_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format version {version!r}"
+            )
+        try:
+            name = data["name"]
+            config = _config_from_dict(data["config"])
+            leak_plan = LeakPlan.from_dict(data["leak_plan"])
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scenario payload missing {exc}"
+            ) from exc
+        return cls(
+            name=name,
+            config=config,
+            leak_plan=leak_plan,
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Scenario":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+class ScenarioBuilder:
+    """Fluent construction of scenario variants.
+
+    Every ``with_*``/``scale_*`` method returns the builder itself, so
+    overrides chain; :meth:`build` produces the immutable
+    :class:`Scenario`.  Starts from the paper-default scenario unless a
+    ``base`` is given.
+    """
+
+    def __init__(self, base: Scenario | None = None) -> None:
+        if base is None:
+            base = Scenario(
+                name="custom",
+                config=ExperimentConfig(),
+                leak_plan=paper_leak_plan(),
+                description="custom scenario",
+            )
+        self._name = base.name
+        self._description = base.description
+        self._config = base.config
+        self._leak_plan = base.leak_plan
+        # A base whose horizon is already decoupled from its duration
+        # was built that way on purpose; keep round-trips faithful.
+        self._horizon_set_explicitly = (
+            base.config.population.horizon_days != base.config.duration_days
+        )
+
+    # -- identity ------------------------------------------------------
+    def named(self, name: str) -> "ScenarioBuilder":
+        self._name = name
+        return self
+
+    def described(self, description: str) -> "ScenarioBuilder":
+        self._description = description
+        return self
+
+    # -- config overrides ----------------------------------------------
+    def with_config(self, **overrides) -> "ScenarioBuilder":
+        """Override arbitrary :class:`ExperimentConfig` fields."""
+        try:
+            self._config = replace(self._config, **overrides)
+        except TypeError as exc:
+            raise ConfigurationError(f"unknown config field: {exc}") from exc
+        return self
+
+    def with_seed(self, seed: int) -> "ScenarioBuilder":
+        return self.with_config(master_seed=seed)
+
+    def with_duration_days(self, duration_days: float) -> "ScenarioBuilder":
+        return self.with_config(duration_days=duration_days)
+
+    def with_scan_period(self, seconds: float) -> "ScenarioBuilder":
+        return self.with_config(scan_period=seconds)
+
+    def with_scrape_period(self, seconds: float) -> "ScenarioBuilder":
+        return self.with_config(scrape_period=seconds)
+
+    def with_monitor_city(self, city_name: str) -> "ScenarioBuilder":
+        return self.with_config(monitor_city_name=city_name)
+
+    def with_emails_per_account(self, low: int, high: int) -> "ScenarioBuilder":
+        return self.with_config(emails_per_account=(low, high))
+
+    def with_case_studies(self, enabled: bool = True) -> "ScenarioBuilder":
+        return self.with_config(enable_case_studies=enabled)
+
+    def without_case_studies(self) -> "ScenarioBuilder":
+        return self.with_case_studies(False)
+
+    def fast_cadence(self) -> "ScenarioBuilder":
+        """Apply the relaxed test/benchmark monitoring cadence."""
+        return self.with_config(
+            scan_period=hours(2),
+            scrape_period=hours(3),
+            emails_per_account=(60, 100),
+        )
+
+    def paper_cadence(self) -> "ScenarioBuilder":
+        """Restore the paper's 10-minute scan / 2-hour scrape cadence."""
+        return self.with_config(
+            scan_period=minutes(10), scrape_period=hours(2)
+        )
+
+    def with_population(self, **overrides) -> "ScenarioBuilder":
+        """Override :class:`PopulationConfig` calibration fields."""
+        try:
+            population = replace(self._config.population, **overrides)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"unknown population field: {exc}"
+            ) from exc
+        if "horizon_days" in overrides:
+            self._horizon_set_explicitly = True
+        return self.with_config(population=population)
+
+    # -- leak plan overrides -------------------------------------------
+    def with_leak_plan(self, plan: LeakPlan) -> "ScenarioBuilder":
+        self._leak_plan = plan
+        return self
+
+    def only_outlets(self, *outlets: OutletKind | str) -> "ScenarioBuilder":
+        self._leak_plan = self._leak_plan.filter_outlets(*outlets)
+        return self
+
+    def scale_accounts(self, factor: float) -> "ScenarioBuilder":
+        """Multiply every leak group's size by ``factor``."""
+        self._leak_plan = self._leak_plan.scaled(factor)
+        return self
+
+    def scaled_to(self, total_accounts: int) -> "ScenarioBuilder":
+        """Resize the plan to exactly ``total_accounts`` accounts."""
+        self._leak_plan = self._leak_plan.scaled(
+            total_accounts=total_accounts
+        )
+        return self
+
+    # -- terminal ------------------------------------------------------
+    def build(self) -> Scenario:
+        # Population horizon follows the experiment duration so scaled
+        # or shortened variants keep attacker arrivals inside the
+        # measurement window's tail behaviour — unless the caller
+        # decoupled it with an explicit with_population(horizon_days=...).
+        config = self._config
+        if (
+            not self._horizon_set_explicitly
+            and config.population.horizon_days != config.duration_days
+        ):
+            config = replace(
+                config,
+                population=replace(
+                    config.population, horizon_days=config.duration_days
+                ),
+            )
+        return Scenario(
+            name=self._name,
+            config=config,
+            leak_plan=self._leak_plan,
+            description=self._description,
+        )

@@ -1,27 +1,32 @@
-"""Command-line interface: run the measurement and report the results.
+"""Command-line interface: run scenarios, sweep seeds, compare results.
 
 Usage::
 
-    python -m repro.cli run --seed 2016 --out results/
-    python -m repro.cli run --paper-cadence     # 10-minute script scans
-    python -m repro.cli tables --seed 2016      # print Table 2 + taxonomy
+    python -m repro run --seed 2016 --out results/
+    python -m repro run --scenario paste_only --seed 7
+    python -m repro tables --seed 2016 --out results/
+    python -m repro scenarios                 # list the registry
+    python -m repro scenarios paste_only      # describe one entry
+    python -m repro sweep --seeds 2016..2018 --jobs 2
+    python -m repro compare --scenarios fast,no_case_studies --seeds 1..2
+
+``python -m repro.cli ...`` keeps working for older scripts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
-from repro.analysis.dataset import analyze
 from repro.analysis.export import export_results
-from repro.analysis.report import (
-    format_table2,
-    format_taxonomy_summary,
-    overview,
-    significance_tests,
-)
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.analysis.report import format_table2, format_taxonomy_summary
+from repro.api.registry import scenarios
+from repro.api.runner import BatchRunner
+from repro.api.scenario import Scenario
+from repro.errors import ConfigurationError, ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
-        "run", help="run the full measurement and print the overview"
+        "run", help="run one measurement and print the overview"
     )
     tables_parser = subparsers.add_parser(
         "tables", help="run and print Table 2 + the taxonomy summary"
@@ -46,64 +51,251 @@ def _build_parser() -> argparse.ArgumentParser:
             help="master seed (default: 2016)",
         )
         sub.add_argument(
-            "--paper-cadence", action="store_true",
-            help="use the paper's 10-minute script scans (slower)",
+            "--scenario", default=None, metavar="NAME",
+            help="registry scenario to run (default: fast)",
         )
-    run_parser.add_argument(
-        "--out", default=None, metavar="DIR",
-        help="export results.json and figure CSVs into DIR",
+        sub.add_argument(
+            "--paper-cadence", action="store_true",
+            help="use the paper's 10-minute script scans (slower); "
+            "shorthand for --scenario paper_default",
+        )
+        sub.add_argument(
+            "--duration-days", type=float, default=None, metavar="DAYS",
+            help="override the measurement window length",
+        )
+        sub.add_argument(
+            "--out", default=None, metavar="DIR",
+            help="export results.json and figure CSVs into DIR",
+        )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list registry scenarios, or describe one"
+    )
+    scenarios_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario to describe (omit to list all)",
+    )
+    scenarios_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the scenario's full JSON definition",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run one scenario across many seeds"
+    )
+    compare_parser = subparsers.add_parser(
+        "compare", help="run several scenarios and compare aggregates"
+    )
+    for sub in (sweep_parser, compare_parser):
+        sub.add_argument(
+            "--seeds", default="2016..2018", metavar="SPEC",
+            help="seed spec: 'A..B' (inclusive), 'a,b,c', or one seed "
+            "(default: 2016..2018)",
+        )
+        sub.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes (default: 1 = serial)",
+        )
+        sub.add_argument(
+            "--duration-days", type=float, default=None, metavar="DAYS",
+            help="override the measurement window length",
+        )
+        sub.add_argument(
+            "--out", default=None, metavar="DIR",
+            help="write the batch summary JSON into DIR",
+        )
+    sweep_parser.add_argument(
+        "--scenario", default="fast", metavar="NAME",
+        help="registry scenario to sweep (default: fast)",
+    )
+    compare_parser.add_argument(
+        "--scenarios", default="fast,no_case_studies", metavar="A,B,...",
+        dest="scenario_names",
+        help="comma-separated registry scenarios "
+        "(default: fast,no_case_studies)",
     )
     return parser
 
 
-def _run_experiment(args):
-    config = (
-        ExperimentConfig(master_seed=args.seed)
-        if args.paper_cadence
-        else ExperimentConfig.fast(master_seed=args.seed)
+def parse_seed_spec(spec: str) -> list[int]:
+    """Parse 'A..B' (inclusive range), 'a,b,c', or a single seed."""
+    spec = spec.strip()
+    try:
+        if ".." in spec:
+            low_text, high_text = spec.split("..", 1)
+            low, high = int(low_text), int(high_text)
+            if high < low:
+                raise ConfigurationError(
+                    f"seed range {spec!r} is empty (end before start)"
+                )
+            return list(range(low, high + 1))
+        if "," in spec:
+            return [int(part) for part in spec.split(",") if part.strip()]
+        return [int(spec)]
+    except ValueError as exc:
+        raise ConfigurationError(f"bad seed spec {spec!r}: {exc}") from exc
+
+
+def _apply_duration(scenario: Scenario, duration_days: float | None) -> Scenario:
+    if duration_days is None:
+        return scenario
+    return (
+        scenario.to_builder().with_duration_days(duration_days).build()
     )
-    started = time.time()
-    result = Experiment(config).run()
-    elapsed = time.time() - started
-    analysis = analyze(result.dataset, scan_period=config.scan_period)
-    return result, analysis, elapsed
+
+
+def _resolve_scenario(args) -> Scenario:
+    """The scenario a run/tables invocation asks for, seed applied."""
+    name = args.scenario
+    if name is None:
+        name = "paper_default" if args.paper_cadence else "fast"
+    elif args.paper_cadence:
+        raise ConfigurationError(
+            "--paper-cadence cannot be combined with --scenario "
+            "(the scenario already fixes the cadence)"
+        )
+    return _apply_duration(
+        scenarios.get(name).with_seed(args.seed), args.duration_days
+    )
 
 
 def _command_run(args) -> int:
-    result, analysis, elapsed = _run_experiment(args)
-    stats = overview(analysis, result.blacklisted_ips)
-    print(f"measurement complete in {elapsed:.1f}s "
-          f"(seed={args.seed}, {result.events_executed} events)")
+    scenario = _resolve_scenario(args)
+    run = scenario.run()
+    stats = run.overview()
+    print(f"measurement complete in {run.elapsed_seconds:.1f}s "
+          f"(scenario={scenario.name}, seed={run.seed}, "
+          f"{run.events_executed} events)")
     print(f"unique accesses: {stats.unique_accesses} (paper: 327)")
     print(f"emails read/sent/drafts: {stats.emails_read}/"
           f"{stats.emails_sent}/{stats.unique_drafts} "
           f"(paper: 147/845/12)")
     print(f"blocked accounts: {stats.blocked_accounts} (paper: 42)")
     print(f"labels: {stats.label_totals}")
-    tests = significance_tests(analysis)
-    for name, p_value in tests.summary().items():
+    for name, p_value in run.significance().items():
         print(f"cvm {name}: p={p_value:.7f}")
     if args.out:
         written = export_results(
-            analysis, args.out, blacklisted_ips=result.blacklisted_ips
+            run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
         )
         print(f"exported {len(written)} files to {args.out}")
     return 0
 
 
 def _command_tables(args) -> int:
-    _, analysis, _ = _run_experiment(args)
-    print(format_taxonomy_summary(analysis))
+    run = _resolve_scenario(args).run()
+    print(format_taxonomy_summary(run.analysis))
     print()
-    print(format_table2(analysis))
+    print(format_table2(run.analysis))
+    if args.out:
+        written = export_results(
+            run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
+        )
+        print(f"\nexported {len(written)} files to {args.out}")
     return 0
+
+
+def _command_scenarios(args) -> int:
+    if args.name is None:
+        width = max(len(name) for name in scenarios.names())
+        for entry in scenarios:
+            print(f"{entry.name:<{width}}  {entry.summary}")
+        return 0
+    scenario = scenarios.get(args.name)
+    if args.as_json:
+        print(scenario.to_json(indent=2))
+    else:
+        print(scenario.describe())
+    return 0
+
+
+def _write_batch_summary(batch, out_dir: str) -> Path:
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "batch_summary.json"
+    path.write_text(
+        json.dumps(batch.to_dict(), indent=2, sort_keys=True)
+    )
+    return path
+
+
+def _command_sweep(args) -> int:
+    seeds = parse_seed_spec(args.seeds)
+    scenario = _apply_duration(
+        scenarios.get(args.scenario), args.duration_days
+    )
+    started = time.time()
+    batch = BatchRunner(jobs=args.jobs).run(scenario, seeds)
+    elapsed = time.time() - started
+    print(f"swept {scenario.name} over {len(seeds)} seeds "
+          f"in {elapsed:.1f}s (jobs={args.jobs})")
+    for run in batch.runs:
+        stats = run.overview()
+        print(f"  seed={run.seed}: accesses={stats.unique_accesses} "
+              f"read={stats.emails_read} sent={stats.emails_sent} "
+              f"blocked={stats.blocked_accounts}")
+    print(batch.aggregate().format())
+    if args.out:
+        path = _write_batch_summary(batch, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+def _command_compare(args) -> int:
+    names = [n.strip() for n in args.scenario_names.split(",") if n.strip()]
+    if len(names) < 2:
+        raise ConfigurationError(
+            "compare needs at least two scenarios (--scenarios A,B)"
+        )
+    seeds = parse_seed_spec(args.seeds)
+    scenario_list = [
+        _apply_duration(scenarios.get(name), args.duration_days)
+        for name in names
+    ]
+    started = time.time()
+    batch = BatchRunner(jobs=args.jobs).run_matrix(scenario_list, seeds)
+    elapsed = time.time() - started
+    print(f"compared {len(names)} scenarios x {len(seeds)} seeds "
+          f"in {elapsed:.1f}s (jobs={args.jobs})")
+    aggregates = batch.aggregates
+    metrics = next(iter(aggregates.values())).metrics
+    name_width = max(len(m) for m in metrics)
+    column = max(max(len(n) for n in names), 12) + 2
+    header = " " * name_width + "".join(
+        f"{name:>{column}}" for name in aggregates
+    )
+    print(header)
+    for metric in metrics:
+        row = f"{metric:<{name_width}}"
+        for agg in aggregates.values():
+            summary = agg.metrics[metric]
+            row += f"{summary.mean:>{column - 9}.1f} ±{summary.stdev:7.1f}"
+        print(row)
+    for name, agg in aggregates.items():
+        for test, p_value in agg.pooled_cvm.items():
+            print(f"  {name} pooled cvm {test}: p={p_value:.7f}")
+    if args.out:
+        path = _write_batch_summary(batch, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "tables": _command_tables,
+    "scenarios": _command_scenarios,
+    "sweep": _command_sweep,
+    "compare": _command_compare,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    return _command_tables(args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -79,6 +79,19 @@ class ExperimentConfig:
             raise ConfigurationError("duration_days must be positive")
         if self.scan_period <= 0 or self.scrape_period <= 0:
             raise ConfigurationError("periods must be positive")
+        if len(self.emails_per_account) != 2:
+            raise ConfigurationError(
+                "emails_per_account must be a (low, high) pair"
+            )
+        low, high = self.emails_per_account
+        if low < 1 or high < 1:
+            raise ConfigurationError(
+                "emails_per_account bounds must be positive"
+            )
+        if low > high:
+            raise ConfigurationError(
+                "emails_per_account low bound exceeds high bound"
+            )
 
     @classmethod
     def fast(cls, master_seed: int = 2016) -> "ExperimentConfig":
@@ -113,7 +126,21 @@ class ExperimentResult:
 
 
 class Experiment:
-    """Builds the world and runs the measurement once."""
+    """Builds the world and runs the measurement once.
+
+    Construction only records the configuration; the simulated world
+    (geo database, provider, monitor, attacker population, ...) is
+    created by :meth:`build`.  The split lets callers — in particular
+    :class:`repro.api.Scenario` — inspect or override components after
+    the world exists but before anything is scheduled::
+
+        experiment = Experiment(config).build()
+        experiment.monitor.register_monitor_ip(extra_probe_ip)
+        result = experiment.run()
+
+    Every stage method calls :meth:`build` on demand, so plain
+    ``Experiment(config).run()`` keeps working unchanged.
+    """
 
     def __init__(
         self,
@@ -122,6 +149,43 @@ class Experiment:
     ) -> None:
         self.config = config or ExperimentConfig()
         self.leak_plan = leak_plan or paper_leak_plan()
+        self.honey_accounts: list[HoneyAccount] = []
+        self.blackmail: BlackmailCampaign | None = None
+        self.carding: CardingForumRegistration | None = None
+        self._quota_notified: set[str] = set()
+        self._provisioned = False
+        self._built = False
+        # World components; populated by build().
+        self._seeds: SeedSequence | None = None
+        self.sim: Simulator | None = None
+        self.geo: GeoDatabase | None = None
+        self.anonymity: AnonymityNetwork | None = None
+        self.blacklist: IPBlacklist | None = None
+        self.service: WebmailService | None = None
+        self.sinkhole: SinkholeMailServer | None = None
+        self.monitor: MonitorInfrastructure | None = None
+        self.runtime: AppsScriptRuntime | None = None
+        self.ledger: LeakLedger | None = None
+        self.population: AttackerPopulation | None = None
+
+    @classmethod
+    def from_scenario(cls, scenario, seed: int | None = None) -> "Experiment":
+        """Instantiate from a :class:`repro.api.Scenario`.
+
+        ``seed`` overrides the scenario's master seed when given.
+        """
+        if seed is not None:
+            scenario = scenario.with_seed(seed)
+        return cls(config=scenario.config, leak_plan=scenario.leak_plan)
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def build(self) -> "Experiment":
+        """Construct the simulated world (step 1).  Idempotent."""
+        if self._built:
+            return self
         seeds = SeedSequence(self.config.master_seed)
         self._seeds = seeds
         self.sim = Simulator()
@@ -151,11 +215,8 @@ class Experiment:
             config=self.config.population,
             blacklist_registrar=self._register_infected_ip,
         )
-        self.honey_accounts: list[HoneyAccount] = []
-        self.blackmail: BlackmailCampaign | None = None
-        self.carding: CardingForumRegistration | None = None
-        self._quota_notified: set[str] = set()
-        self._provisioned = False
+        self._built = True
+        return self
 
     # ------------------------------------------------------------------
     # hooks
@@ -179,6 +240,7 @@ class Experiment:
         """Create and instrument all honey accounts (step 2)."""
         if self._provisioned:
             return self.honey_accounts
+        self.build()
         factory = HoneyAccountFactory(
             self.service,
             self.runtime,
@@ -340,6 +402,7 @@ class Experiment:
         """Wire the Section 4.7 case studies (step 4)."""
         if not self.config.enable_case_studies:
             return
+        self.build()
         paste_accounts = [
             h
             for h in self.honey_accounts
@@ -372,6 +435,7 @@ class Experiment:
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Execute the full measurement and assemble the dataset."""
+        self.build()
         self.provision_accounts()
         self.leak_credentials()
         self.schedule_case_studies()
@@ -419,10 +483,14 @@ class Experiment:
 def run_paper_experiment(
     seed: int = 2016, *, fast: bool = True
 ) -> ExperimentResult:
-    """One-call entry point used by examples and benchmarks."""
-    config = (
-        ExperimentConfig.fast(master_seed=seed)
-        if fast
-        else ExperimentConfig(master_seed=seed)
-    )
-    return Experiment(config).run()
+    """One-call entry point used by examples and benchmarks.
+
+    Kept as a thin shim over the scenario registry
+    (:mod:`repro.api.registry`); new code should prefer
+    ``scenarios.get("fast").run(seed=...)`` which returns the richer
+    :class:`repro.api.RunResult` envelope.
+    """
+    from repro.api.registry import scenarios
+
+    scenario = scenarios.get("fast" if fast else "paper_default")
+    return Experiment.from_scenario(scenario, seed=seed).run()

@@ -9,6 +9,7 @@ This module encodes both granularities.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 
@@ -90,6 +91,115 @@ class LeakPlan:
             if g.name == name:
                 return g
         raise ConfigurationError(f"unknown group {name!r}")
+
+    def filter_outlets(self, *outlets: "OutletKind | str") -> "LeakPlan":
+        """A plan restricted to the given outlet families.
+
+        Accepts :class:`OutletKind` members or their string values.
+        Raises :class:`ConfigurationError` when nothing survives the
+        filter (an experiment needs at least one group).
+        """
+        wanted = {
+            o if isinstance(o, OutletKind) else OutletKind(o)
+            for o in outlets
+        }
+        groups = tuple(g for g in self.groups if g.outlet in wanted)
+        if not groups:
+            raise ConfigurationError(
+                f"no groups left after filtering to {sorted(w.value for w in wanted)}"
+            )
+        return LeakPlan(groups=groups)
+
+    def scaled(
+        self,
+        factor: float | None = None,
+        *,
+        total_accounts: int | None = None,
+    ) -> "LeakPlan":
+        """A proportionally resized plan.
+
+        Exactly one of ``factor`` (multiply every group size) or
+        ``total_accounts`` (largest-remainder apportionment to an exact
+        total) must be given.  Every group keeps at least one account so
+        the plan's structure survives aggressive down-scaling.
+        """
+        if (factor is None) == (total_accounts is None):
+            raise ConfigurationError(
+                "pass exactly one of factor or total_accounts"
+            )
+        if factor is not None:
+            if factor <= 0:
+                raise ConfigurationError("scale factor must be positive")
+            total_accounts = max(
+                len(self.groups), round(self.total_accounts * factor)
+            )
+        assert total_accounts is not None
+        if total_accounts < len(self.groups):
+            raise ConfigurationError(
+                f"need >= {len(self.groups)} accounts "
+                f"(one per group), got {total_accounts}"
+            )
+        # Largest-remainder apportionment with a floor of 1 per group.
+        current_total = self.total_accounts
+        quotas = [
+            g.size * total_accounts / current_total for g in self.groups
+        ]
+        sizes = [max(1, int(q)) for q in quotas]
+        remainders = sorted(
+            range(len(quotas)),
+            key=lambda i: (quotas[i] - int(quotas[i]), -i),
+            reverse=True,
+        )
+        index = 0
+        while sum(sizes) < total_accounts:
+            sizes[remainders[index % len(remainders)]] += 1
+            index += 1
+        index = 0
+        while sum(sizes) > total_accounts:
+            candidate = remainders[-1 - (index % len(remainders))]
+            if sizes[candidate] > 1:
+                sizes[candidate] -= 1
+            index += 1
+        groups = tuple(
+            dataclasses.replace(g, size=size)
+            for g, size in zip(self.groups, sizes)
+        )
+        return LeakPlan(groups=groups)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (see :meth:`from_dict`)."""
+        return {
+            "groups": [
+                {
+                    "name": g.name,
+                    "outlet": g.outlet.value,
+                    "size": g.size,
+                    "location_hint": g.location_hint.value,
+                    "venues": list(g.venues),
+                    "table1_group": g.table1_group,
+                }
+                for g in self.groups
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LeakPlan":
+        """Rebuild a plan serialized with :meth:`to_dict`."""
+        try:
+            groups = tuple(
+                GroupSpec(
+                    name=g["name"],
+                    outlet=OutletKind(g["outlet"]),
+                    size=g["size"],
+                    location_hint=LocationHint(g["location_hint"]),
+                    venues=tuple(g["venues"]),
+                    table1_group=g["table1_group"],
+                )
+                for g in data["groups"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad leak plan payload: {exc}") from exc
+        return cls(groups=groups)
 
     def table1_rows(self) -> list[tuple[int, int, str]]:
         """Rows of the paper's Table 1: (group number, #accounts, outlet)."""

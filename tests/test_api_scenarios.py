@@ -1,0 +1,267 @@
+"""Tests for repro.api.scenario and repro.api.registry."""
+
+import pytest
+
+from repro.api import (
+    SCENARIO_FORMAT_VERSION,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioRegistry,
+    scenarios,
+)
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.groups import OutletKind, paper_leak_plan
+from repro.errors import ConfigurationError
+from repro.sim.clock import hours, minutes
+
+#: Every scenario the issue requires the registry to ship.
+EXPECTED_NAMES = {
+    "paper_default",
+    "fast",
+    "paste_only",
+    "forum_only",
+    "malware_only",
+    "no_case_studies",
+    "scaled",
+    "high_frequency_monitoring",
+}
+
+
+class TestRegistry:
+    def test_contains_all_required_scenarios(self):
+        assert EXPECTED_NAMES <= set(scenarios.names())
+        assert len(scenarios) >= 8
+
+    def test_every_entry_builds_a_scenario(self):
+        for name in scenarios.names():
+            scenario = scenarios.get(name)
+            assert isinstance(scenario, Scenario)
+            assert scenario.account_count >= 1
+            assert scenarios.summary(name)
+
+    def test_paper_default_matches_legacy_config(self):
+        scenario = scenarios.get("paper_default")
+        assert scenario.config == ExperimentConfig()
+        assert scenario.leak_plan == paper_leak_plan()
+        assert scenario.config.scan_period == minutes(10)
+
+    def test_fast_matches_legacy_fast_config(self):
+        assert scenarios.get("fast").config == ExperimentConfig.fast()
+
+    def test_outlet_scenarios_filter_groups(self):
+        cases = {
+            "paste_only": (OutletKind.PASTE, 50),
+            "forum_only": (OutletKind.FORUM, 30),
+            "malware_only": (OutletKind.MALWARE, 20),
+        }
+        for name, (outlet, accounts) in cases.items():
+            scenario = scenarios.get(name)
+            assert scenario.account_count == accounts
+            assert all(
+                g.outlet is outlet for g in scenario.leak_plan.groups
+            )
+
+    def test_scaled_is_parametric(self):
+        assert scenarios.get("scaled").account_count == 200
+        assert scenarios.get("scaled", n_accounts=73).account_count == 73
+
+    def test_no_case_studies(self):
+        assert not scenarios.get("no_case_studies").config.enable_case_studies
+
+    def test_high_frequency_monitoring_cadence(self):
+        config = scenarios.get("high_frequency_monitoring").config
+        assert config.scan_period == minutes(10)
+        assert config.scrape_period == minutes(30)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            scenarios.get("nope")
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            scenarios.get("fast", bogus=1)
+
+    def test_duplicate_registration_guard(self):
+        registry = ScenarioRegistry()
+        registry.register("x", lambda: scenarios.get("fast"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("x", lambda: scenarios.get("fast"))
+        registry.register(
+            "x", lambda: scenarios.get("paper_default"), replace=True
+        )
+        assert registry.get("x").name == "paper_default"
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        scenario = (
+            Scenario.builder()
+            .named("variant")
+            .described("a variant")
+            .with_seed(7)
+            .without_case_studies()
+            .scale_accounts(4)
+            .build()
+        )
+        assert scenario.name == "variant"
+        assert scenario.seed == 7
+        assert not scenario.config.enable_case_studies
+        assert scenario.account_count == 400
+
+    def test_builder_is_a_classmethod_with_paper_default_base(self):
+        scenario = Scenario.builder().build()
+        assert scenario.leak_plan == paper_leak_plan()
+        assert scenario.config.scan_period == minutes(10)
+
+    def test_to_builder_preserves_instance(self):
+        base = scenarios.get("paste_only")
+        derived = base.to_builder().with_seed(3).build()
+        assert derived.leak_plan == base.leak_plan
+        assert derived.seed == 3
+
+    def test_only_outlets(self):
+        scenario = (
+            Scenario.builder().only_outlets("forum", "malware").build()
+        )
+        assert set(scenario.outlets) == {"forum", "malware"}
+        assert scenario.account_count == 50
+
+    def test_empty_outlet_filter_raises(self):
+        builder = Scenario.builder().only_outlets(OutletKind.PASTE)
+        with pytest.raises(ConfigurationError, match="no groups left"):
+            builder.only_outlets(OutletKind.FORUM)
+
+    def test_scaled_to_exact_total(self):
+        for total in (8, 37, 100, 250):
+            plan = Scenario.builder().scaled_to(total).build().leak_plan
+            assert plan.total_accounts == total
+            assert all(g.size >= 1 for g in plan.groups)
+
+    def test_scaling_below_group_count_raises(self):
+        with pytest.raises(ConfigurationError, match="one per group"):
+            Scenario.builder().scaled_to(3)
+
+    def test_unknown_config_field_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown config"):
+            ScenarioBuilder().with_config(warp_speed=True)
+
+    def test_population_overrides(self):
+        scenario = (
+            Scenario.builder().with_population(android_prob=0.5).build()
+        )
+        assert scenario.config.population.android_prob == 0.5
+
+    def test_horizon_follows_duration(self):
+        scenario = Scenario.builder().with_duration_days(30.0).build()
+        assert scenario.config.population.horizon_days == 30.0
+
+    def test_explicit_horizon_override_wins(self):
+        scenario = (
+            Scenario.builder()
+            .with_duration_days(90.0)
+            .with_population(horizon_days=30.0)
+            .build()
+        )
+        assert scenario.config.population.horizon_days == 30.0
+
+    def test_decoupled_horizon_survives_builder_round_trip(self):
+        decoupled = (
+            Scenario.builder()
+            .with_duration_days(90.0)
+            .with_population(horizon_days=30.0)
+            .build()
+        )
+        derived = decoupled.to_builder().with_seed(7).build()
+        assert derived.config.population.horizon_days == 30.0
+
+    def test_invalid_overrides_surface_at_build(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.builder().with_duration_days(-1.0).build()
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_registry_round_trip(self, name):
+        scenario = scenarios.get(name)
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_builder_round_trip(self):
+        scenario = (
+            Scenario.builder()
+            .named("round-trip")
+            .with_seed(123)
+            .with_duration_days(45.0)
+            .with_population(paste_sigma=1.25)
+            .only_outlets("paste")
+            .scaled_to(17)
+            .build()
+        )
+        restored = Scenario.from_json(scenario.to_json(indent=2))
+        assert restored == scenario
+        assert restored.config.population.paste_sigma == 1.25
+        assert restored.leak_plan.total_accounts == 17
+
+    def test_format_version_checked(self):
+        payload = scenarios.get("fast").to_dict()
+        payload["format_version"] = SCENARIO_FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="format version"):
+            Scenario.from_dict(payload)
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ConfigurationError, match="bad scenario JSON"):
+            Scenario.from_json("{not json")
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.from_dict({"name": "x"})
+
+    def test_malformed_emails_range_raises_configuration_error(self):
+        payload = scenarios.get("fast").to_dict()
+        payload["config"]["emails_per_account"] = [10]
+        with pytest.raises(ConfigurationError):
+            Scenario.from_dict(payload)
+
+
+class TestScenarioExecution:
+    def test_with_seed_returns_variant(self):
+        scenario = scenarios.get("fast")
+        assert scenario.with_seed(scenario.seed) is scenario
+        assert scenario.with_seed(9).seed == 9
+        # the original is untouched (scenarios are immutable values)
+        assert scenario.seed == 2016
+
+    def test_build_experiment_is_unbuilt(self):
+        experiment = scenarios.get("fast").build_experiment(seed=5)
+        assert isinstance(experiment, Experiment)
+        assert not experiment.is_built
+        assert experiment.config.master_seed == 5
+
+    def test_describe_mentions_shape(self):
+        text = scenarios.get("paste_only").describe()
+        assert "paste_only" in text
+        assert "accounts=50" in text
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_every_registry_scenario_runs_end_to_end(self, name):
+        """Each registry entry must execute the full pipeline.
+
+        Horizons and mailboxes are shrunk through the builder so the
+        smoke sweep stays fast; the scenario's own cadence, plan shape
+        and case-study wiring are exercised unchanged.
+        """
+        scenario = scenarios.get(name)
+        shrunk = (
+            scenario.to_builder()
+            .with_duration_days(8.0)
+            .with_emails_per_account(8, 12)
+            .build()
+        )
+        if name in ("paper_default", "high_frequency_monitoring"):
+            # 10-minute scans are the expensive part; relax only the
+            # scan cadence, keeping these scenarios' scrape settings.
+            shrunk = shrunk.to_builder().with_scan_period(hours(2)).build()
+        run = shrunk.run(seed=11)
+        assert run.account_count == scenario.account_count
+        assert run.events_executed > 0
+        assert run.overview().unique_accesses >= 0
+        assert set(run.scenario.outlets) == set(scenario.outlets)

@@ -27,6 +27,67 @@ class TestExperimentConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(scan_period=0.0)
 
+    def test_invalid_emails_per_account_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(emails_per_account=(0, 10))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(emails_per_account=(10, -1))
+
+    def test_emails_per_account_low_above_high(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(emails_per_account=(20, 10))
+
+    def test_emails_per_account_degenerate_range_ok(self):
+        config = ExperimentConfig(emails_per_account=(10, 10))
+        assert config.emails_per_account == (10, 10)
+
+
+class TestExplicitBuild:
+    def test_world_absent_until_build(self):
+        experiment = Experiment(ExperimentConfig(master_seed=1))
+        assert not experiment.is_built
+        assert experiment.sim is None
+        assert experiment.monitor is None
+
+    def test_build_is_idempotent(self):
+        experiment = Experiment(ExperimentConfig(master_seed=1))
+        assert experiment.build() is experiment
+        sim = experiment.sim
+        experiment.build()
+        assert experiment.sim is sim
+        assert experiment.is_built
+
+    def test_components_overridable_before_run(self):
+        experiment = Experiment(
+            ExperimentConfig(
+                master_seed=12,
+                duration_days=5.0,
+                scan_period=hours(4),
+                scrape_period=hours(6),
+                emails_per_account=(10, 15),
+            )
+        ).build()
+        from repro.netsim.cities import city_by_name
+
+        probe_ip = experiment.geo.allocate_in_city(city_by_name("Reading"))
+        experiment.monitor.register_monitor_ip(probe_ip)
+        result = experiment.run()
+        assert str(probe_ip) in result.dataset.monitor_ips
+
+    def test_stage_methods_build_on_demand(self):
+        experiment = Experiment(
+            ExperimentConfig(
+                master_seed=13,
+                duration_days=5.0,
+                scan_period=hours(4),
+                scrape_period=hours(6),
+                emails_per_account=(10, 15),
+            )
+        )
+        experiment.provision_accounts()
+        assert experiment.is_built
+        assert len(experiment.honey_accounts) == 100
+
 
 class TestExperimentStages:
     @pytest.fixture()

@@ -72,6 +72,29 @@ class TestExportResults:
         assert len(rows) == analysis.total_unique_accesses
 
 
+class TestSeedSpec:
+    def test_range(self):
+        from repro.cli import parse_seed_spec
+
+        assert parse_seed_spec("2016..2018") == [2016, 2017, 2018]
+        assert parse_seed_spec("5..5") == [5]
+
+    def test_list_and_single(self):
+        from repro.cli import parse_seed_spec
+
+        assert parse_seed_spec("1,4,9") == [1, 4, 9]
+        assert parse_seed_spec("42") == [42]
+
+    def test_bad_specs(self):
+        from repro.cli import parse_seed_spec
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            parse_seed_spec("9..1")
+        with pytest.raises(ConfigurationError):
+            parse_seed_spec("abc")
+
+
 class TestCli:
     def test_run_command(self, tmp_path, capsys):
         exit_code = main(
@@ -96,3 +119,114 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_run_with_scenario_flag(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "malware_only",
+                "--seed", "3",
+                "--duration-days", "8",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "scenario=malware_only" in output
+        assert "unique accesses" in output
+
+    def test_tables_export(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "tables",
+                "--seed", "11",
+                "--duration-days", "8",
+                "--out", str(tmp_path / "tables-out"),
+            ]
+        )
+        assert exit_code == 0
+        assert "exported" in capsys.readouterr().out
+        assert (tmp_path / "tables-out" / "results.json").exists()
+        assert (
+            tmp_path / "tables-out" / "figure5_distance_vectors.csv"
+        ).exists()
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("paper_default", "fast", "scaled", "paste_only"):
+            assert name in output
+
+    def test_scenarios_describe_and_json(self, capsys):
+        assert main(["scenarios", "forum_only"]) == 0
+        assert "accounts=30" in capsys.readouterr().out
+        assert main(["scenarios", "forum_only", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "forum_only"
+
+    def test_paper_cadence_conflicts_with_scenario(self, capsys):
+        exit_code = main(
+            ["run", "--scenario", "fast", "--paper-cadence"]
+        )
+        assert exit_code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_reported(self, capsys):
+        assert main(["scenarios", "warpdrive"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_command(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--scenario", "fast",
+                "--seeds", "2016..2017",
+                "--jobs", "2",
+                "--duration-days", "8",
+                "--out", str(tmp_path / "sweep-out"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "seed=2016" in output
+        assert "seed=2017" in output
+        assert "pooled cvm" in output
+        summary_path = tmp_path / "sweep-out" / "batch_summary.json"
+        summary = json.loads(summary_path.read_text())
+        assert len(summary["runs"]) == 2
+        assert "fast" in summary["aggregates"]
+
+    def test_compare_command(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--scenarios", "paste_only,forum_only",
+                "--seeds", "7",
+                "--duration-days", "8",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "paste_only" in output
+        assert "forum_only" in output
+        assert "unique_accesses" in output
+
+    def test_compare_needs_two_scenarios(self, capsys):
+        assert main(["compare", "--scenarios", "fast", "--seeds", "1"]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "scenarios"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0
+        assert "paper_default" in completed.stdout
