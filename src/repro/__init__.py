@@ -80,24 +80,36 @@ from repro.core.experiment import (
     run_paper_experiment,
 )
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+from repro.telemetry import (
+    EventLog,
+    JsonlSink,
+    RowView,
+    StreamingECDF,
+    StringTable,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AggregateStats",
     "AnalysisResults",
     "BatchResult",
     "BatchRunner",
+    "EventLog",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "JsonlSink",
     "LeakPlan",
     "OutletKind",
     "OverviewStats",
+    "RowView",
     "RunResult",
     "Scenario",
     "ScenarioBuilder",
     "SignificanceTests",
+    "StreamingECDF",
+    "StringTable",
     "__version__",
     "analyze",
     "analyze_experiment",

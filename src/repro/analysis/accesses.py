@@ -67,7 +67,84 @@ def extract_unique_accesses(
     Location and fingerprint fields come from the first located
     observation of the cookie (cookies are per-device, so these are
     stable in practice; the first row wins on conflict).
+
+    Columnar datasets take a single-pass scan over the raw columns;
+    list-backed (legacy) datasets fall through to row iteration.  Both
+    paths produce identical output.
     """
+    store = getattr(dataset, "access_store", None)
+    if store is not None:
+        return _extract_unique_columnar(dataset, store)
+    return _extract_unique_rows(dataset)
+
+
+def _extract_unique_columnar(dataset, store) -> list[UniqueAccess]:
+    """One pass over the columns; no intermediate row objects."""
+    strings = store.strings
+    lookup = strings.lookup
+    monitor_ip_ids = {
+        ident
+        for ident in map(strings.id_of, dataset.monitor_ips)
+        if ident is not None
+    }
+    blocked_city_id = (
+        strings.id_of(dataset.monitor_city)
+        if dataset.monitor_city is not None
+        else None
+    )
+    ip_ids = store.ip_ids
+    city_ids = store.city_ids
+    timestamps = store.timestamps
+    by_cookie: dict[tuple[int, int], list[int]] = {}
+    for index, (account_id, cookie_id) in enumerate(
+        zip(store.account_ids, store.cookie_ids)
+    ):
+        if ip_ids[index] in monitor_ip_ids:
+            continue
+        if blocked_city_id is not None and city_ids[index] == blocked_city_id:
+            continue
+        by_cookie.setdefault((account_id, cookie_id), []).append(index)
+    unique: list[UniqueAccess] = []
+    for (account_id, cookie_id), indices in by_cookie.items():
+        indices.sort(key=timestamps.__getitem__)
+        first = indices[0]
+        located = next(
+            (i for i in indices if city_ids[i]), first
+        )
+        unique.append(
+            UniqueAccess(
+                account_address=lookup(account_id),
+                cookie_id=lookup(cookie_id),
+                t0=timestamps[first],
+                t_last=timestamps[indices[-1]],
+                observation_count=len(indices),
+                ip_addresses=tuple(
+                    dict.fromkeys(lookup(ip_ids[i]) for i in indices)
+                ),
+                city=lookup(city_ids[located]),
+                country=lookup(store.country_ids[located]),
+                latitude=(
+                    store.latitudes[located]
+                    if store.latitude_mask[located]
+                    else None
+                ),
+                longitude=(
+                    store.longitudes[located]
+                    if store.longitude_mask[located]
+                    else None
+                ),
+                device_kind=lookup(store.device_ids[first]),
+                browser=lookup(store.browser_ids[first]),
+                os_family=lookup(store.os_ids[first]),
+                empty_user_agent=(lookup(store.ua_ids[first]) == ""),
+            )
+        )
+    unique.sort(key=lambda u: (u.t0, u.account_address, u.cookie_id))
+    return unique
+
+
+def _extract_unique_rows(dataset) -> list[UniqueAccess]:
+    """The original object path, kept for legacy list-backed datasets."""
     cleaned = clean_accesses(dataset)
     by_cookie: dict[tuple[str, str], list[ObservedAccess]] = {}
     for access in cleaned:

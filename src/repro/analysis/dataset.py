@@ -61,25 +61,57 @@ class AnalysisResults:
     #: The scan period the accesses were classified under; recorded so
     #: downstream consumers can tell which cadence produced the labels.
     scan_period: float = hours(2)
+    #: Lazily-built outlet -> unique accesses index; callers loop over
+    #: outlets (report, figures), so one pass builds all buckets.
+    _outlet_index: dict[str, list[UniqueAccess]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_unique_accesses(self) -> int:
         return len(self.unique_accesses)
 
     def accesses_for_outlet(self, outlet: str) -> list[UniqueAccess]:
-        return [
-            a
-            for a in self.unique_accesses
-            if self.dataset.provenance[a.account_address].group.outlet.value
-            == outlet
-        ]
+        if self._outlet_index is None:
+            index: dict[str, list[UniqueAccess]] = {}
+            for access in self.unique_accesses:
+                provenance = self.dataset.provenance[access.account_address]
+                index.setdefault(
+                    provenance.group.outlet.value, []
+                ).append(access)
+            self._outlet_index = index
+        return list(self._outlet_index.get(outlet, ()))
 
     def observed_ips(self) -> set[str]:
         return observed_ip_strings(self.unique_accesses)
 
 
 def _count_actions(dataset: ObservedDataset) -> tuple[int, int, int]:
-    """(unique emails read, emails sent, unique drafts) from notifications."""
+    """(unique emails read, emails sent, unique drafts) from notifications.
+
+    Columnar datasets are counted straight off the interned-id columns
+    (string ids are bijective with the strings, so the distinct-key
+    counts are identical); legacy datasets iterate records.
+    """
+    store = getattr(dataset, "notification_store", None)
+    if store is not None:
+        id_of = store.strings.id_of
+        read_id = id_of(NotificationKind.READ.value)
+        sent_id = id_of(NotificationKind.SENT.value)
+        draft_id = id_of(NotificationKind.DRAFT.value)
+        read_keys: set[tuple[int, int]] = set()
+        draft_keys: set[tuple[int, int]] = set()
+        sent = 0
+        message_ids = store.message_ids
+        account_ids = store.account_ids
+        for index, kind_id in enumerate(store.kind_ids):
+            if kind_id == read_id:
+                read_keys.add((account_ids[index], message_ids[index]))
+            elif kind_id == sent_id:
+                sent += 1
+            elif kind_id == draft_id:
+                draft_keys.add((account_ids[index], message_ids[index]))
+        return len(read_keys), sent, len(draft_keys)
     read_messages: set[tuple[str, str]] = set()
     draft_messages: set[tuple[str, str]] = set()
     sent = 0

@@ -47,10 +47,34 @@ def _honey_handles(dataset: ObservedDataset) -> list[str]:
     return handles
 
 
-def infer_searched_words(dataset: ObservedDataset) -> KeywordInference:
-    """Run the full Table 2 analysis over an observed dataset."""
+def _read_bodies(dataset: ObservedDataset) -> tuple[int, list[str]]:
+    """(distinct read messages with content, their bodies in first-seen
+    order) — the ``dR`` document's raw material.
+
+    Columnar datasets scan the kind/account/message id columns directly
+    (dedup keys are interned-id pairs, bijective with the string pairs);
+    legacy datasets iterate records.
+    """
+    store = getattr(dataset, "notification_store", None)
+    if store is not None:
+        read_id = store.strings.id_of(NotificationKind.READ.value)
+        seen_keys: set[tuple[int, int]] = set()
+        texts: list[str] = []
+        if read_id is not None:
+            bodies = store.bodies
+            account_ids = store.account_ids
+            message_ids = store.message_ids
+            for index, kind_id in enumerate(store.kind_ids):
+                if kind_id != read_id or not bodies[index]:
+                    continue
+                key = (account_ids[index], message_ids[index])
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                texts.append(bodies[index])
+        return len(seen_keys), texts
     seen_messages: set[tuple[str, str]] = set()
-    read_texts: list[str] = []
+    texts = []
     for notification in dataset.notifications:
         if notification.kind is not NotificationKind.READ:
             continue
@@ -60,7 +84,13 @@ def infer_searched_words(dataset: ObservedDataset) -> KeywordInference:
         if key in seen_messages:
             continue
         seen_messages.add(key)
-        read_texts.append(notification.body_copy)
+        texts.append(notification.body_copy)
+    return len(seen_messages), texts
+
+
+def infer_searched_words(dataset: ObservedDataset) -> KeywordInference:
+    """Run the full Table 2 analysis over an observed dataset."""
+    read_message_count, read_texts = _read_bodies(dataset)
     all_texts: list[str] = []
     for texts in dataset.all_email_texts.values():
         all_texts.extend(texts)
@@ -70,7 +100,7 @@ def infer_searched_words(dataset: ObservedDataset) -> KeywordInference:
     table = compute_tfidf_table(read_terms, all_terms)
     return KeywordInference(
         table=table,
-        read_message_count=len(seen_messages),
+        read_message_count=read_message_count,
         read_term_count=len(read_terms),
         all_term_count=len(all_terms),
     )

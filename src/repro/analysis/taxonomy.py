@@ -70,6 +70,40 @@ _ACTION_KINDS = {
 }
 
 
+def _action_stream(dataset: ObservedDataset):
+    """Yield ``(kind, account_address, timestamp)`` for action
+    notifications, in arrival order.
+
+    Columnar datasets are scanned over the raw id columns — kind
+    filtering is integer comparison and only matching rows pay a string
+    lookup; legacy datasets iterate records.  Order and content are
+    identical either way.
+    """
+    store = getattr(dataset, "notification_store", None)
+    if store is None:
+        for notification in dataset.notifications:
+            if notification.kind in _ACTION_KINDS:
+                yield (
+                    notification.kind,
+                    notification.account_address,
+                    notification.timestamp,
+                )
+        return
+    id_of = store.strings.id_of
+    kind_for_id = {
+        ident: kind
+        for kind in _ACTION_KINDS
+        if (ident := id_of(kind.value)) is not None
+    }
+    lookup = store.strings.lookup
+    account_ids = store.account_ids
+    timestamps = store.timestamps
+    for index, kind_id in enumerate(store.kind_ids):
+        kind = kind_for_id.get(kind_id)
+        if kind is not None:
+            yield kind, lookup(account_ids[index]), timestamps[index]
+
+
 def classify_accesses(
     dataset: ObservedDataset,
     unique_accesses: list[UniqueAccess],
@@ -83,10 +117,8 @@ def classify_accesses(
         by_account.setdefault(item.access.account_address, []).append(item)
 
     margin = scan_period * 1.5
-    for notification in dataset.notifications:
-        if notification.kind not in _ACTION_KINDS:
-            continue
-        candidates = by_account.get(notification.account_address)
+    for kind, account_address, timestamp in _action_stream(dataset):
+        candidates = by_account.get(account_address)
         if not candidates:
             continue
         best: ClassifiedAccess | None = None
@@ -94,12 +126,12 @@ def classify_accesses(
         for item in candidates:
             start = item.access.t0 - margin
             end = item.access.t_last + margin
-            if start <= notification.timestamp <= end:
+            if start <= timestamp <= end:
                 distance = 0.0
             else:
                 distance = min(
-                    abs(notification.timestamp - start),
-                    abs(notification.timestamp - end),
+                    abs(timestamp - start),
+                    abs(timestamp - end),
                 )
             if distance < best_distance:
                 best_distance = distance
@@ -109,10 +141,10 @@ def classify_accesses(
         # same blind spot after password changes).
         if best is None or best_distance > hours(24):
             continue
-        if notification.kind is NotificationKind.SENT:
+        if kind is NotificationKind.SENT:
             best.labels.add(TaxonomyLabel.SPAMMER)
             best.attributed_sends += 1
-        elif notification.kind is NotificationKind.DRAFT:
+        elif kind is NotificationKind.DRAFT:
             best.attributed_drafts += 1
         else:
             best.labels.add(TaxonomyLabel.GOLD_DIGGER)

@@ -19,8 +19,11 @@ boundaries intact.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from repro.analysis.dataset import AnalysisResults, analyze
 from repro.analysis.report import (
@@ -151,6 +154,38 @@ class RunResult:
         }
 
     # ------------------------------------------------------------------
+    # telemetry export
+    # ------------------------------------------------------------------
+    def export_telemetry(self, directory: str | Path) -> list[Path]:
+        """Write the run's raw telemetry into ``directory``.
+
+        Produces ``accesses.jsonl`` and ``notifications.jsonl`` (one row
+        per line, straight off the columnar stores) plus
+        ``dataset.json`` — the full column-wise dataset dump that
+        :meth:`~repro.core.records.ObservedDataset.from_json_dict`
+        rebuilds losslessly.
+        """
+        from repro.telemetry import write_jsonl
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = [
+            write_jsonl(
+                self.dataset.access_store, directory / "accesses.jsonl"
+            ),
+            write_jsonl(
+                self.dataset.notification_store,
+                directory / "notifications.jsonl",
+            ),
+        ]
+        dataset_path = directory / "dataset.json"
+        dataset_path.write_text(
+            json.dumps(self.dataset.to_json_dict(), sort_keys=True)
+        )
+        written.append(dataset_path)
+        return written
+
+    # ------------------------------------------------------------------
     # pickling: drop the live world and the analysis cache
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -163,11 +198,24 @@ class RunResult:
         self.__dict__.update(state)
 
 
-def run_scenario(scenario: Scenario, seed: int | None = None) -> RunResult:
-    """Execute one scenario run and wrap it in a :class:`RunResult`."""
+def run_scenario(
+    scenario: Scenario,
+    seed: int | None = None,
+    *,
+    on_built: Callable[[Experiment], None] | None = None,
+) -> RunResult:
+    """Execute one scenario run and wrap it in a :class:`RunResult`.
+
+    ``on_built`` runs after the simulated world exists but before
+    anything is scheduled — the hook for attaching telemetry spill
+    sinks, extra probes, or other instrumentation to the experiment.
+    """
     if seed is not None:
         scenario = scenario.with_seed(seed)
     started = time.perf_counter()
-    result = Experiment.from_scenario(scenario).run()
+    experiment = Experiment.from_scenario(scenario).build()
+    if on_built is not None:
+        on_built(experiment)
+    result = experiment.run()
     elapsed = time.perf_counter() - started
     return RunResult.from_experiment(scenario, result, elapsed)

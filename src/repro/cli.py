@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.analysis.export import export_results
 from repro.analysis.report import format_table2, format_taxonomy_summary
+from repro.api.envelope import run_scenario
 from repro.api.registry import scenarios
 from repro.api.runner import BatchRunner
 from repro.api.scenario import Scenario
@@ -67,6 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "--out", default=None, metavar="DIR",
             help="export results.json and figure CSVs into DIR",
         )
+    run_parser.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="export raw telemetry (accesses.jsonl, notifications.jsonl, "
+        "dataset.json) into DIR after the run",
+    )
+    run_parser.add_argument(
+        "--spill-telemetry", default=None, metavar="DIR",
+        help="stream accesses/notifications to JSONL in DIR *during* the "
+        "run (for measurements too large to keep resident)",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registry scenarios, or describe one"
@@ -161,7 +172,21 @@ def _resolve_scenario(args) -> Scenario:
 
 def _command_run(args) -> int:
     scenario = _resolve_scenario(args)
-    run = scenario.run()
+    spilled: list = []
+    monitors: list = []
+
+    def _attach_spill(experiment) -> None:
+        monitors.append(experiment.monitor)
+        spilled.extend(
+            experiment.monitor.spill_telemetry(args.spill_telemetry)
+        )
+
+    run = run_scenario(
+        scenario,
+        on_built=_attach_spill if args.spill_telemetry else None,
+    )
+    for monitor in monitors:
+        monitor.close_spill()
     stats = run.overview()
     print(f"measurement complete in {run.elapsed_seconds:.1f}s "
           f"(scenario={scenario.name}, seed={run.seed}, "
@@ -179,6 +204,13 @@ def _command_run(args) -> int:
             run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
         )
         print(f"exported {len(written)} files to {args.out}")
+    if args.spill_telemetry:
+        for path in spilled:
+            print(f"spilled telemetry stream: {path}")
+    if args.telemetry_out:
+        written = run.export_telemetry(args.telemetry_out)
+        print(f"exported telemetry ({len(written)} files) "
+              f"to {args.telemetry_out}")
     return 0
 
 

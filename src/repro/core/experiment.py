@@ -454,12 +454,15 @@ class Experiment:
         )
 
     def _assemble_dataset(self) -> ObservedDataset:
-        dataset = ObservedDataset()
-        dataset.accesses = list(self.monitor.scraped_accesses)
-        dataset.notifications = list(self.monitor.notifications)
+        # Zero-copy handoff: the monitor's columnar telemetry stores
+        # become the dataset's backing storage.
+        dataset = ObservedDataset.from_streams(
+            access_store=self.monitor.access_store,
+            notification_store=self.monitor.notification_store,
+            failure_log=self.monitor.failure_log,
+        )
         dataset.monitor_ips = set(self.monitor.monitor_ip_strings)
         dataset.monitor_city = self.monitor.monitor_city.name
-        dataset.scrape_failures = list(self.monitor.scrape_failures)
         for honey in self.honey_accounts:
             leak_time = self.ledger.first_leak_time(honey.address)
             dataset.provenance[honey.address] = AccountProvenance(

@@ -67,6 +67,29 @@ class GroupSpec:
         if not self.venues:
             raise ConfigurationError(f"group {self.name!r} needs >= 1 venue")
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "outlet": self.outlet.value,
+            "size": self.size,
+            "location_hint": self.location_hint.value,
+            "venues": list(self.venues),
+            "table1_group": self.table1_group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroupSpec":
+        """Rebuild a group serialized with :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            outlet=OutletKind(data["outlet"]),
+            size=data["size"],
+            location_hint=LocationHint(data["location_hint"]),
+            venues=tuple(data["venues"]),
+            table1_group=data["table1_group"],
+        )
+
 
 @dataclass(frozen=True)
 class LeakPlan:
@@ -168,34 +191,14 @@ class LeakPlan:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation (see :meth:`from_dict`)."""
-        return {
-            "groups": [
-                {
-                    "name": g.name,
-                    "outlet": g.outlet.value,
-                    "size": g.size,
-                    "location_hint": g.location_hint.value,
-                    "venues": list(g.venues),
-                    "table1_group": g.table1_group,
-                }
-                for g in self.groups
-            ]
-        }
+        return {"groups": [g.to_dict() for g in self.groups]}
 
     @classmethod
     def from_dict(cls, data: dict) -> "LeakPlan":
         """Rebuild a plan serialized with :meth:`to_dict`."""
         try:
             groups = tuple(
-                GroupSpec(
-                    name=g["name"],
-                    outlet=OutletKind(g["outlet"]),
-                    size=g["size"],
-                    location_hint=LocationHint(g["location_hint"]),
-                    venues=tuple(g["venues"]),
-                    table1_group=g["table1_group"],
-                )
-                for g in data["groups"]
+                GroupSpec.from_dict(g) for g in data["groups"]
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"bad leak plan payload: {exc}") from exc

@@ -3,13 +3,22 @@
 Two collectors, as in Section 3.1 of the paper:
 
 * the **notification store** is the dedicated webmail account the hidden
-  scripts report to; here it is an append-only list of
-  :class:`~repro.core.notifications.NotificationRecord`;
+  scripts report to; here it is an append-only columnar
+  :class:`~repro.telemetry.stores.NotificationStore`;
 * the **activity scraper** drives a browser, periodically logs into every
   honey account with the leaked credentials, and dumps the account
   activity page to disk for offline parsing.  When a hijacker changes a
   password the scraper is locked out — access records stop, while script
   notifications keep flowing.
+
+Everything the monitor collects is telemetry: scraped rows, script
+notifications, scrape diagnostics and lockouts each stream into a typed
+:class:`~repro.telemetry.eventlog.EventLog` sharing one string-interning
+table, so a million-row run stores every address, user agent and city
+exactly once.  The historical list attributes (``scraped_accesses``,
+``notifications``, ``scrape_log``) remain available as lazy row views.
+Each watched account carries a monotonic index cursor into its activity
+page, making every scrape O(new events) instead of a full rescan.
 
 The scraper's own logins appear on the activity pages (it is a real
 client); the analysis layer removes them by IP and by city, exactly like
@@ -19,10 +28,16 @@ the paper's cleaning step.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
 
-from repro.core.notifications import NotificationRecord
-from repro.core.records import ObservedAccess
+from repro.core.notifications import (
+    NotificationRecord,
+    notification_row_factory,
+    notification_to_fields,
+)
+from repro.core.records import access_row_factory
 from repro.errors import (
     AccountBlockedError,
     AuthenticationError,
@@ -34,6 +49,15 @@ from repro.netsim.ipaddr import IPAddress
 from repro.sim.clock import hours
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.telemetry import (
+    AccessStore,
+    JsonlSink,
+    NotificationStore,
+    RowView,
+    ScrapeFailureLog,
+    ScrapeLogStore,
+    StringTable,
+)
 from repro.webmail.activity import AccessEvent
 from repro.webmail.service import LoginContext, WebmailService
 
@@ -55,12 +79,14 @@ class ScrapeOutcome(enum.Enum):
 class _WatchedAccount:
     address: str
     password: str
-    last_seen_event_time: float = float("-inf")
+    #: Index cursor into the account's activity page; the next scrape
+    #: reads from here, so each visit is O(new events).
+    cursor: int = 0
     locked_out: bool = False
     blocked: bool = False
 
 
-@dataclass
+@dataclass(frozen=True)
 class ScrapeLogEntry:
     """Diagnostic record of one scraper visit."""
 
@@ -68,6 +94,13 @@ class ScrapeLogEntry:
     timestamp: float
     outcome: ScrapeOutcome
     new_events: int
+
+
+def _scrape_entry_factory(log, index: int) -> ScrapeLogEntry:
+    address, timestamp, outcome, new_events = log.row(index)
+    return ScrapeLogEntry(
+        address, timestamp, ScrapeOutcome(outcome), new_events
+    )
 
 
 class MonitorInfrastructure:
@@ -101,10 +134,17 @@ class MonitorInfrastructure:
             geo.allocate_in_city(monitor_city) for _ in range(3)
         ]
         self._ip_cursor = 0
-        self.notifications: list[NotificationRecord] = []
-        self.scraped_accesses: list[ObservedAccess] = []
-        self.scrape_log: list[ScrapeLogEntry] = []
-        self.scrape_failures: list[tuple[str, float]] = []
+        # One interning table across all four telemetry streams.
+        self.telemetry_strings = StringTable()
+        self.access_store = AccessStore(strings=self.telemetry_strings)
+        self.notification_store = NotificationStore(
+            strings=self.telemetry_strings
+        )
+        self.scrape_log_store = ScrapeLogStore(
+            strings=self.telemetry_strings
+        )
+        self.failure_log = ScrapeFailureLog(strings=self.telemetry_strings)
+        self._spill_sinks: list[tuple[object, JsonlSink]] = []
         self._process: PeriodicProcess | None = None
 
     # ------------------------------------------------------------------
@@ -112,11 +152,44 @@ class MonitorInfrastructure:
     # ------------------------------------------------------------------
     def notification_sink(self, record: NotificationRecord) -> None:
         """The sink handed to every honey script."""
-        self.notifications.append(record)
+        self.notification_store.append_fields(
+            *notification_to_fields(record)
+        )
+
+    @property
+    def notifications(self) -> RowView:
+        """Script notifications as records, lazily materialised."""
+        return RowView(self.notification_store, notification_row_factory)
+
+    @property
+    def notification_counts(self) -> dict[str, int]:
+        """Per-kind notification counts off the raw kind-id column.
+
+        One integer-column scan on demand — nothing rides the ingest
+        hot path for this.
+        """
+        counts = Counter(self.notification_store.kind_ids)
+        lookup = self.telemetry_strings.lookup
+        return {lookup(ident): count for ident, count in counts.items()}
 
     # ------------------------------------------------------------------
     # scraping
     # ------------------------------------------------------------------
+    @property
+    def scraped_accesses(self) -> RowView:
+        """Parsed activity-page rows, lazily materialised."""
+        return RowView(self.access_store, access_row_factory)
+
+    @property
+    def scrape_log(self) -> RowView:
+        """Diagnostic entries, lazily materialised."""
+        return RowView(self.scrape_log_store, _scrape_entry_factory)
+
+    @property
+    def scrape_failures(self) -> ScrapeFailureLog:
+        """(address, time) lockout rows (tuple sequence)."""
+        return self.failure_log
+
     @property
     def monitor_ips(self) -> tuple[IPAddress, ...]:
         return tuple(self._monitor_ips)
@@ -145,6 +218,40 @@ class MonitorInfrastructure:
         if self._process is not None:
             self._process.stop()
             self._process = None
+        for _, sink in self._spill_sinks:
+            sink.flush()
+
+    # ------------------------------------------------------------------
+    # disk spill
+    # ------------------------------------------------------------------
+    def spill_telemetry(self, directory: str | Path) -> list[Path]:
+        """Stream accesses and notifications to JSONL files in
+        ``directory`` as they are collected (rows already gathered are
+        replayed first), for runs too large to keep resident."""
+        directory = Path(directory)
+        paths: list[Path] = []
+        for name, store in (
+            ("accesses", self.access_store),
+            ("notifications", self.notification_store),
+        ):
+            sink = JsonlSink(directory / f"{name}.jsonl")
+            store.attach_sink(sink, replay=True)
+            self._spill_sinks.append((store, sink))
+            paths.append(sink.path)
+        return paths
+
+    def close_spill(self) -> None:
+        """Detach, flush and close any attached spill sinks.
+
+        Detaching matters: the stores live on inside the run's
+        :class:`~repro.core.records.ObservedDataset` (zero-copy
+        handoff), and a closed sink left attached would raise on any
+        later append.
+        """
+        for store, sink in self._spill_sinks:
+            store.detach_sink(sink)
+            sink.close()
+        self._spill_sinks.clear()
 
     def _next_ip(self) -> IPAddress:
         ip = self._monitor_ips[self._ip_cursor % len(self._monitor_ips)]
@@ -157,6 +264,11 @@ class MonitorInfrastructure:
             if watched.locked_out or watched.blocked:
                 continue
             self._scrape_one(watched, now)
+
+    def _log_scrape(
+        self, address: str, now: float, outcome: ScrapeOutcome, count: int
+    ) -> None:
+        self.scrape_log_store.append((address, now, outcome.value, count))
 
     def _scrape_one(self, watched: _WatchedAccount, now: float) -> None:
         context = LoginContext(
@@ -172,49 +284,42 @@ class MonitorInfrastructure:
             # Hijacker changed the password; we lose the activity page but
             # script notifications keep arriving.
             watched.locked_out = True
-            self.scrape_failures.append((watched.address, now))
-            self.scrape_log.append(
-                ScrapeLogEntry(watched.address, now, ScrapeOutcome.LOCKED_OUT, 0)
+            self.failure_log.append((watched.address, now))
+            self._log_scrape(
+                watched.address, now, ScrapeOutcome.LOCKED_OUT, 0
             )
             return
         except AccountBlockedError:
             watched.blocked = True
-            self.scrape_log.append(
-                ScrapeLogEntry(watched.address, now, ScrapeOutcome.BLOCKED, 0)
-            )
+            self._log_scrape(watched.address, now, ScrapeOutcome.BLOCKED, 0)
             return
         except WebmailError:
             return
-        events = self._service.activity.events_since(
-            watched.address, watched.last_seen_event_time
+        events, watched.cursor = self._service.activity.read_from(
+            watched.address, watched.cursor
         )
         for event in events:
-            self.scraped_accesses.append(self._parse_event(event))
-            watched.last_seen_event_time = max(
-                watched.last_seen_event_time, event.timestamp
-            )
+            self._ingest_event(event)
         self._service.logout(session)
-        self.scrape_log.append(
-            ScrapeLogEntry(watched.address, now, ScrapeOutcome.OK, len(events))
-        )
+        self._log_scrape(watched.address, now, ScrapeOutcome.OK, len(events))
 
-    @staticmethod
-    def _parse_event(event: AccessEvent) -> ObservedAccess:
-        """Offline parsing of one dumped activity-page row."""
+    def _ingest_event(self, event: AccessEvent) -> int:
+        """Offline parsing of one dumped activity-page row, straight
+        into the columnar store (no intermediate row object)."""
         location = event.location
-        return ObservedAccess(
-            account_address=event.account_address,
-            cookie_id=str(event.cookie),
-            ip_address=str(event.ip_address),
-            city=location.city if location else None,
-            country=location.country if location else None,
-            latitude=location.latitude if location else None,
-            longitude=location.longitude if location else None,
-            device_kind=event.fingerprint.kind.value,
-            os_family=event.fingerprint.os_family,
-            browser=event.fingerprint.browser,
-            user_agent=event.fingerprint.user_agent,
-            timestamp=event.timestamp,
+        return self.access_store.append_fields(
+            event.account_address,
+            str(event.cookie),
+            str(event.ip_address),
+            location.city if location else None,
+            location.country if location else None,
+            location.latitude if location else None,
+            location.longitude if location else None,
+            event.fingerprint.kind.value,
+            event.fingerprint.os_family,
+            event.fingerprint.browser,
+            event.fingerprint.user_agent,
+            event.timestamp,
         )
 
     # ------------------------------------------------------------------

@@ -11,14 +11,37 @@ Two artifact streams exist, mirroring the paper's Section 3.1:
 :class:`ObservedDataset` bundles both plus the metadata needed for the
 cleaning step (monitor IPs and monitor city) and per-account leak
 provenance.  The analysis package consumes *only* this object.
+
+Since the columnar-telemetry refactor the dataset is a thin view over
+:mod:`repro.telemetry` stores: rows live in struct-of-arrays event logs
+with a shared string-interning table, and the historical list-of-
+dataclass accessors (``dataset.accesses``, ``dataset.notifications``)
+are lazy :class:`~repro.telemetry.eventlog.RowView` adapters.  Code
+that *assigns* lists of records to those attributes keeps working — the
+setters ingest the rows into fresh columns.  The pre-refactor container
+survives as :class:`LegacyObservedDataset` (see :meth:`ObservedDataset.
+to_legacy`) so the object path can still be benchmarked and used as an
+equivalence oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.groups import GroupSpec
-from repro.core.notifications import NotificationRecord
+from repro.core.notifications import (
+    NotificationRecord,
+    notification_row_factory,
+    notification_to_fields,
+)
+from repro.telemetry import (
+    AccessStore,
+    NotificationStore,
+    RowView,
+    ScrapeFailureLog,
+    StringTable,
+)
 
 
 @dataclass(frozen=True)
@@ -27,6 +50,9 @@ class ObservedAccess:
 
     Location fields are ``None`` when the provider could not geolocate the
     source (Tor exit nodes and anonymous proxies).
+
+    Field order matches :data:`repro.telemetry.ACCESS_FIELDS`, so a
+    columnar row tuple expands positionally: ``ObservedAccess(*row)``.
     """
 
     account_address: str
@@ -47,6 +73,29 @@ class ObservedAccess:
         return self.city is not None
 
 
+def access_row_factory(log, index: int) -> ObservedAccess:
+    """Materialise one :class:`ObservedAccess` from a columnar row."""
+    return ObservedAccess(*log.row(index))
+
+
+def access_to_fields(access: ObservedAccess) -> tuple:
+    """Flatten a record into the ``ACCESS_FIELDS`` column order."""
+    return (
+        access.account_address,
+        access.cookie_id,
+        access.ip_address,
+        access.city,
+        access.country,
+        access.latitude,
+        access.longitude,
+        access.device_kind,
+        access.os_family,
+        access.browser,
+        access.user_agent,
+        access.timestamp,
+    )
+
+
 @dataclass(frozen=True)
 class AccountProvenance:
     """Leak provenance of one honey account (known to the researchers)."""
@@ -56,14 +105,16 @@ class AccountProvenance:
     leak_time: float
 
 
-@dataclass
 class ObservedDataset:
     """Everything the measurement produced, ready for analysis.
 
     Attributes:
         accesses: scraped activity-page rows (uncleaned; analysis applies
-            the monitor-IP / monitor-city filter).
-        notifications: script notifications, in arrival order.
+            the monitor-IP / monitor-city filter).  A lazy row view over
+            the columnar store; assigning a list of
+            :class:`ObservedAccess` re-ingests it.
+        notifications: script notifications, in arrival order (same
+            view/assign semantics).
         provenance: per-account leak group and leak time.
         monitor_ips: IP addresses belonging to the monitoring and sandbox
             infrastructure, to be excluded from analysis.
@@ -74,6 +125,205 @@ class ObservedDataset:
         blocked_accounts: addresses suspended by the provider, with time.
         scrape_failures: (address, time) pairs at which the scraper could
             no longer log in (password changed by a hijacker).
+    """
+
+    def __init__(self) -> None:
+        strings = StringTable()
+        self._access_store = AccessStore(strings=strings)
+        self._notification_store = NotificationStore(strings=strings)
+        self._failure_log = ScrapeFailureLog(strings=strings)
+        self.provenance: dict[str, AccountProvenance] = {}
+        self.monitor_ips: set[str] = set()
+        self.monitor_city: str | None = None
+        self.all_email_texts: dict[str, list[str]] = {}
+        self.blocked_accounts: list[tuple[str, float]] = []
+
+    @classmethod
+    def from_streams(
+        cls,
+        *,
+        access_store: AccessStore,
+        notification_store: NotificationStore,
+        failure_log: ScrapeFailureLog,
+    ) -> "ObservedDataset":
+        """Adopt live telemetry stores without copying a single row.
+
+        This is the zero-copy handoff at the end of a run: the monitor's
+        stores *become* the dataset's backing storage.
+        """
+        dataset = cls()
+        dataset._access_store = access_store
+        dataset._notification_store = notification_store
+        dataset._failure_log = failure_log
+        return dataset
+
+    # ------------------------------------------------------------------
+    # columnar access (analysis fast paths read these)
+    # ------------------------------------------------------------------
+    @property
+    def access_store(self) -> AccessStore:
+        return self._access_store
+
+    @property
+    def notification_store(self) -> NotificationStore:
+        return self._notification_store
+
+    @property
+    def failure_log(self) -> ScrapeFailureLog:
+        return self._failure_log
+
+    # ------------------------------------------------------------------
+    # row-compatible accessors
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> RowView:
+        return RowView(self._access_store, access_row_factory)
+
+    @accesses.setter
+    def accesses(self, rows: Iterable[ObservedAccess]) -> None:
+        store = AccessStore(strings=self._access_store.strings)
+        for access in rows:
+            store.append_fields(*access_to_fields(access))
+        self._access_store = store
+
+    @property
+    def notifications(self) -> RowView:
+        return RowView(self._notification_store, notification_row_factory)
+
+    @notifications.setter
+    def notifications(self, rows: Iterable[NotificationRecord]) -> None:
+        store = NotificationStore(strings=self._notification_store.strings)
+        for record in rows:
+            store.append_fields(*notification_to_fields(record))
+        self._notification_store = store
+
+    @property
+    def scrape_failures(self) -> ScrapeFailureLog:
+        """(address, time) rows — the log doubles as a tuple sequence."""
+        return self._failure_log
+
+    @scrape_failures.setter
+    def scrape_failures(self, rows: Iterable[tuple[str, float]]) -> None:
+        log = ScrapeFailureLog(strings=self._failure_log.strings)
+        for address, timestamp in rows:
+            log.append((address, timestamp))
+        self._failure_log = log
+
+    @property
+    def account_addresses(self) -> tuple[str, ...]:
+        return tuple(self.provenance)
+
+    def accesses_for(self, address: str) -> list[ObservedAccess]:
+        store = self._access_store
+        ident = store.strings.id_of(address)
+        if ident is None:
+            return []
+        return [
+            access_row_factory(store, i)
+            for i, account in enumerate(store.account_ids)
+            if account == ident
+        ]
+
+    def notifications_for(self, address: str) -> list[NotificationRecord]:
+        store = self._notification_store
+        ident = store.strings.id_of(address)
+        if ident is None:
+            return []
+        return [
+            notification_row_factory(store, i)
+            for i, account in enumerate(store.account_ids)
+            if account == ident
+        ]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Column-wise JSON round trip of the whole dataset."""
+        return {
+            "accesses": self._access_store.to_json_dict(),
+            "notifications": self._notification_store.to_json_dict(),
+            "scrape_failures": self._failure_log.to_json_dict(),
+            "provenance": {
+                address: {
+                    "group": p.group.to_dict(),
+                    "leak_time": p.leak_time,
+                }
+                for address, p in self.provenance.items()
+            },
+            "monitor_ips": sorted(self.monitor_ips),
+            "monitor_city": self.monitor_city,
+            "all_email_texts": self.all_email_texts,
+            "blocked_accounts": [list(b) for b in self.blocked_accounts],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ObservedDataset":
+        """Rebuild a dataset serialized with :meth:`to_json_dict`."""
+        strings = StringTable()
+        dataset = cls.from_streams(
+            access_store=AccessStore.from_json_dict(
+                data["accesses"], strings=strings
+            ),
+            notification_store=NotificationStore.from_json_dict(
+                data["notifications"], strings=strings
+            ),
+            failure_log=ScrapeFailureLog.from_json_dict(
+                data["scrape_failures"], strings=strings
+            ),
+        )
+        dataset.provenance = {
+            address: AccountProvenance(
+                address=address,
+                group=GroupSpec.from_dict(entry["group"]),
+                leak_time=entry["leak_time"],
+            )
+            for address, entry in data["provenance"].items()
+        }
+        dataset.monitor_ips = set(data["monitor_ips"])
+        dataset.monitor_city = data["monitor_city"]
+        dataset.all_email_texts = {
+            address: list(texts)
+            for address, texts in data["all_email_texts"].items()
+        }
+        dataset.blocked_accounts = [
+            (address, timestamp)
+            for address, timestamp in data["blocked_accounts"]
+        ]
+        return dataset
+
+    def to_legacy(self) -> "LegacyObservedDataset":
+        """Materialise the pre-refactor list-of-dataclass container."""
+        return LegacyObservedDataset(
+            accesses=list(self.accesses),
+            notifications=list(self.notifications),
+            provenance=dict(self.provenance),
+            monitor_ips=set(self.monitor_ips),
+            monitor_city=self.monitor_city,
+            all_email_texts={
+                address: list(texts)
+                for address, texts in self.all_email_texts.items()
+            },
+            blocked_accounts=list(self.blocked_accounts),
+            scrape_failures=[tuple(row) for row in self._failure_log],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservedDataset({len(self._access_store)} accesses, "
+            f"{len(self._notification_store)} notifications, "
+            f"{len(self.provenance)} accounts)"
+        )
+
+
+@dataclass
+class LegacyObservedDataset:
+    """The seed's object-path dataset: plain lists of frozen dataclasses.
+
+    Kept as the reference implementation for the telemetry equivalence
+    tests and the old-vs-columnar benchmarks.  The analysis layer
+    accepts it through the same row-iteration fallback it uses for any
+    duck-typed dataset.
     """
 
     accesses: list[ObservedAccess] = field(default_factory=list)

@@ -1,0 +1,60 @@
+"""Columnar telemetry: one streaming event-log spine for the measurement.
+
+The paper's infrastructure is, at heart, a telemetry pipeline: activity
+page rows and hidden-script notifications stream from the webmail
+provider through the monitor into the Section 4 analysis.  This package
+gives that stream a compact, typed representation:
+
+* :class:`StringTable` — an interning table so repeated addresses, user
+  agents, cities and countries are stored once and compared as ints;
+* :class:`EventLog` — an append-only struct-of-arrays store built on
+  stdlib :mod:`array` columns, with cursor-based incremental readers
+  (:class:`EventCursor`) and pluggable sinks notified on every append;
+* sinks — :class:`JsonlSink` spills rows to disk as JSON lines for runs
+  too big for RAM; :class:`CountByKey`, :class:`StreamingECDF` and
+  :class:`OnlineStats` aggregate online without retaining rows;
+* typed stores — :class:`AccessStore`, :class:`NotificationStore`,
+  :class:`ScrapeLogStore` and :class:`ScrapeFailureLog` fix the schemas
+  the monitor produces and the analysis consumes;
+* :class:`RowView` — a read-only sequence adapter that materialises
+  typed row objects lazily, keeping the historical ``list``-of-dataclass
+  API intact on top of the columnar store.
+
+The package is a leaf: it imports nothing from the rest of ``repro``,
+so every layer (webmail, core, analysis, api, cli) can depend on it.
+"""
+
+from repro.telemetry.aggregates import CountByKey, OnlineStats, StreamingECDF
+from repro.telemetry.columns import Field, make_column
+from repro.telemetry.eventlog import EventCursor, EventLog, RowView
+from repro.telemetry.interning import StringTable
+from repro.telemetry.sinks import JsonlSink, read_jsonl, write_jsonl
+from repro.telemetry.stores import (
+    ACCESS_FIELDS,
+    NOTIFICATION_FIELDS,
+    AccessStore,
+    NotificationStore,
+    ScrapeFailureLog,
+    ScrapeLogStore,
+)
+
+__all__ = [
+    "ACCESS_FIELDS",
+    "AccessStore",
+    "CountByKey",
+    "EventCursor",
+    "EventLog",
+    "Field",
+    "JsonlSink",
+    "NOTIFICATION_FIELDS",
+    "NotificationStore",
+    "OnlineStats",
+    "RowView",
+    "ScrapeFailureLog",
+    "ScrapeLogStore",
+    "StreamingECDF",
+    "StringTable",
+    "make_column",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,146 @@
+"""Streaming online aggregators, usable as event-log sinks.
+
+Attached to an :class:`~repro.telemetry.eventlog.EventLog`, each
+aggregator observes rows as they are appended and maintains a compact
+summary — counts, moments, or the sorted sample an ECDF needs — without
+ever retaining the rows themselves.  This is what lets a
+``scaled(n)`` run keep per-kind notification counts or delay
+distributions live during the measurement instead of re-scanning the
+full log afterwards.
+
+Every aggregator implements the sink protocol
+(``write(index, row, log)``); the ``key``/``value`` callables receive
+the row tuple.
+"""
+
+from __future__ import annotations
+
+from array import array
+from math import ceil
+from typing import Callable
+
+
+class CountByKey:
+    """Streaming group-by count: ``counts[key(row)] += 1`` per append."""
+
+    __slots__ = ("_key", "counts")
+
+    def __init__(self, key: Callable[[tuple], object]) -> None:
+        self._key = key
+        self.counts: dict = {}
+
+    def write(self, index: int, row: tuple, log) -> None:
+        key = self._key(row)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def most_common(self, k: int | None = None) -> list[tuple[object, int]]:
+        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked if k is None else ranked[:k]
+
+
+class OnlineStats:
+    """Welford's online mean/variance over one numeric field."""
+
+    __slots__ = ("_value", "count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self, value: Callable[[tuple], float | None]) -> None:
+        self._value = value
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def write(self, index: int, row: tuple, log) -> None:
+        sample = self._value(row)
+        if sample is None:
+            return
+        self.add(sample)
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        delta = sample - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (sample - self.mean)
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return self.variance**0.5
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another aggregator in (parallel shards, Chan's method)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class StreamingECDF:
+    """Accumulates one numeric field into the sorted sample an ECDF needs.
+
+    The raw samples live in a compact ``array('d')``; sorting is done
+    lazily and cached, so appends stay O(1) and
+    :meth:`sorted_values` / :meth:`quantile` are O(n log n) once per
+    batch of appends.  ``None`` samples (e.g. unlocatable accesses) are
+    skipped.
+    """
+
+    __slots__ = ("_value", "_samples", "_sorted")
+
+    def __init__(self, value: Callable[[tuple], float | None]) -> None:
+        self._value = value
+        self._samples = array("d")
+        self._sorted: list[float] | None = None
+
+    def write(self, index: int, row: tuple, log) -> None:
+        sample = self._value(row)
+        if sample is None:
+            return
+        self._samples.append(sample)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sorted_values(self) -> list[float]:
+        """The ECDF support, ascending (the x-axis of the plot)."""
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, ``0 <= q <= 1``."""
+        values = self.sorted_values()
+        if not values:
+            raise ValueError("no samples accumulated")
+        rank = ceil(q * len(values)) - 1
+        return values[min(len(values) - 1, max(0, rank))]
+
+    def ecdf_points(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs ready for plotting."""
+        values = self.sorted_values()
+        n = len(values)
+        return [(v, (i + 1) / n) for i, v in enumerate(values)]

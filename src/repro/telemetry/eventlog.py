@@ -1,0 +1,286 @@
+"""The append-only, typed, struct-of-arrays event log.
+
+:class:`EventLog` is the spine every observation stream in the
+reproduction flows through.  Rows go in as tuples (one value per schema
+field), land column-wise in compact arrays, and come back out three
+ways:
+
+* **row access** — ``log[i]`` / iteration yield value tuples, and
+  :class:`RowView` wraps a log in a read-only sequence of typed records
+  for callers that still expect lists of dataclasses;
+* **column access** — ``log.column(name)`` exposes the raw arrays for
+  single-pass analysis without materialising any row objects;
+* **cursors** — :meth:`EventLog.cursor` returns an
+  :class:`EventCursor` that reads only rows appended since its last
+  read, making incremental consumers (the scraper, live dashboards)
+  O(new events) instead of O(all events).
+
+Sinks attached with :meth:`EventLog.attach_sink` observe every append,
+so disk spilling and online aggregation happen while the run streams,
+not in a post-hoc pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.telemetry.columns import Field, make_column
+from repro.telemetry.interning import StringTable
+
+
+class EventLog(Sequence):
+    """Typed append-only columnar store.
+
+    Args:
+        schema: ordered :class:`Field` entries fixing names and kinds.
+        strings: interning table shared by all ``intern`` columns;
+            supplying one lets several logs (accesses, notifications,
+            scrape diagnostics) share a single table, so an account
+            address is stored once across the whole telemetry spine.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[Field],
+        *,
+        strings: StringTable | None = None,
+    ) -> None:
+        if not schema:
+            raise ValueError("an EventLog needs at least one field")
+        self.schema = tuple(schema)
+        self.strings = strings if strings is not None else StringTable()
+        self._columns = [
+            make_column(field.kind, self.strings) for field in self.schema
+        ]
+        self._by_name = dict(zip((f.name for f in self.schema), self._columns))
+        self._sinks: list = []
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, row: tuple) -> int:
+        """Append one row (one value per schema field); returns its index."""
+        if len(row) != len(self._columns):
+            raise ValueError(
+                f"row has {len(row)} values, schema has "
+                f"{len(self._columns)} fields"
+            )
+        index = len(self._columns[0])
+        for column, value in zip(self._columns, row):
+            column.append(value)
+        for sink in self._sinks:
+            sink.write(index, row, self)
+        return index
+
+    def _notify_sinks(self, index: int) -> None:
+        """Dispatch an already-appended row to sinks (fast-path helper)."""
+        if self._sinks:
+            row = self.row(index)
+            for sink in self._sinks:
+                sink.write(index, row, self)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._columns[0])
+
+    def row(self, index: int) -> tuple:
+        if index < 0:
+            index += len(self)
+        return tuple(column.get(index) for column in self._columns)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.row(i) for i in range(*index.indices(len(self)))]
+        return self.row(index)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.rows()
+
+    def rows(self, start: int = 0, stop: int | None = None) -> Iterator[tuple]:
+        """Iterate row tuples in append order."""
+        if stop is None:
+            stop = len(self)
+        for i in range(start, stop):
+            yield self.row(i)
+
+    def column(self, name: str):
+        """The raw column object (arrays exposed for single-pass scans)."""
+        return self._by_name[name]
+
+    def values(self, name: str) -> list:
+        """Decoded values of one column, in append order."""
+        return self._by_name[name].dump()
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(field.name for field in self.schema)
+
+    def cursor(self, *, at_end: bool = False) -> "EventCursor":
+        """A new incremental reader.
+
+        By default the cursor starts at the head: the first
+        :meth:`EventCursor.read_new` drains the existing rows, later
+        calls return only fresh appends.  Pass ``at_end=True`` to skip
+        history and observe new rows only.
+        """
+        return EventCursor(self, position=len(self) if at_end else 0)
+
+    # ------------------------------------------------------------------
+    # sinks
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink, *, replay: bool = False) -> None:
+        """Attach a sink; with ``replay`` it first sees existing rows."""
+        if replay:
+            for index in range(len(self)):
+                sink.write(index, self.row(index), self)
+        self._sinks.append(sink)
+
+    def detach_sink(self, sink) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Column-wise JSON-safe dump (schema + decoded columns)."""
+        return {
+            "schema": [[f.name, f.kind] for f in self.schema],
+            "length": len(self),
+            "columns": {
+                field.name: column.dump()
+                for field, column in zip(self.schema, self._columns)
+            },
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, data: dict, *, strings: StringTable | None = None
+    ) -> "EventLog":
+        schema = tuple(Field(name, kind) for name, kind in data["schema"])
+        if cls is EventLog:
+            log = cls(schema, strings=strings)
+        else:
+            # Typed stores fix their own schema; verify it matches.
+            log = cls(strings=strings)
+            if log.schema != schema:
+                raise ValueError(
+                    f"serialized schema does not match {cls.__name__}"
+                )
+        log._load_columns(data)
+        log._after_restore()
+        return log
+
+    def _load_columns(self, data: dict) -> None:
+        for field, column in zip(self.schema, self._columns):
+            column.load(data["columns"][field.name])
+
+    def __getstate__(self) -> dict:
+        # Sinks hold file handles and callbacks; they do not survive
+        # pickling (a restored log starts with no sinks attached).  The
+        # interning table is pickled by reference, so logs sharing one
+        # table still share it after a round trip.
+        return {
+            "schema": self.schema,
+            "strings": self.strings,
+            "columns": [column.raw_state() for column in self._columns],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.schema = tuple(state["schema"])
+        self.strings = state["strings"]
+        self._columns = [
+            make_column(field.kind, self.strings) for field in self.schema
+        ]
+        self._by_name = dict(
+            zip((f.name for f in self.schema), self._columns)
+        )
+        self._sinks = []
+        for column, raw in zip(self._columns, state["columns"]):
+            column.load_raw(raw)
+        self._after_restore()
+
+    def _after_restore(self) -> None:
+        """Hook for typed subclasses to rebind fast-path references."""
+
+    def __repr__(self) -> str:
+        names = ", ".join(f.name for f in self.schema)
+        return f"{type(self).__name__}({len(self)} rows: {names})"
+
+
+class EventCursor:
+    """Incremental reader over one :class:`EventLog`.
+
+    Each :meth:`read_new` call yields only the rows appended since the
+    previous call — the primitive behind O(new events) scraping.
+    """
+
+    __slots__ = ("_log", "position")
+
+    def __init__(self, log: EventLog, *, position: int = 0) -> None:
+        self._log = log
+        self.position = position
+
+    @property
+    def pending(self) -> int:
+        """Rows appended but not yet read."""
+        return len(self._log) - self.position
+
+    def read_new(self) -> list[tuple]:
+        """All rows appended since the last read, advancing the cursor."""
+        end = len(self._log)
+        rows = [self._log.row(i) for i in range(self.position, end)]
+        self.position = end
+        return rows
+
+    def rewind(self) -> None:
+        self.position = 0
+
+
+class RowView(Sequence):
+    """Read-only sequence of typed rows over an :class:`EventLog`.
+
+    ``factory(log, index)`` materialises one typed record; materialising
+    is lazy, so iterating a view allocates one record at a time and
+    ``len``/``bool`` touch no rows at all.  This is what keeps the
+    historical ``monitor.scraped_accesses``-style list APIs alive on top
+    of the columnar store.
+    """
+
+    __slots__ = ("_log", "_factory")
+
+    def __init__(
+        self, log: EventLog, factory: Callable[[EventLog, int], object]
+    ) -> None:
+        self._log = log
+        self._factory = factory
+
+    @property
+    def log(self) -> EventLog:
+        return self._log
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._factory(self._log, i)
+                for i in range(*index.indices(len(self._log)))
+            ]
+        if index < 0:
+            index += len(self._log)
+        if not 0 <= index < len(self._log):
+            raise IndexError(index)
+        return self._factory(self._log, index)
+
+    def __iter__(self):
+        for i in range(len(self._log)):
+            yield self._factory(self._log, i)
+
+    def __repr__(self) -> str:
+        return f"RowView({len(self)} rows over {self._log!r})"

@@ -1,0 +1,89 @@
+"""String interning for columnar telemetry.
+
+Addresses, cookies, user agents, cities and countries repeat across
+millions of rows; storing each occurrence as a Python string costs tens
+of bytes plus an object header every time.  :class:`StringTable` maps
+each distinct string to a small integer id so columns store ids in a
+compact ``array('q')`` and equality checks become int comparisons.
+
+Id ``0`` is reserved for ``None`` (the "no value" marker the activity
+page uses for unlocatable accesses), so nullable string columns need no
+separate mask.
+"""
+
+from __future__ import annotations
+
+NULL_ID = 0
+
+
+class StringTable:
+    """Bidirectional string <-> int-id mapping, append-only.
+
+    Ids are dense and allocated in first-seen order, which keeps the
+    table deterministic for a deterministic event stream — two runs with
+    the same seed produce byte-identical tables.
+    """
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str | None] = [None]
+
+    def __len__(self) -> int:
+        """Number of entries including the reserved ``None`` slot."""
+        return len(self._strings)
+
+    def intern(self, value: str | None) -> int:
+        """Return the id for ``value``, allocating one if new."""
+        if value is None:
+            return NULL_ID
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._strings)
+            self._ids[value] = ident
+            self._strings.append(value)
+        return ident
+
+    def lookup(self, ident: int) -> str | None:
+        """The string for an id (``None`` for the reserved id 0)."""
+        return self._strings[ident]
+
+    def id_of(self, value: str | None) -> int | None:
+        """The id of an already-interned string, or ``None`` if absent.
+
+        Unlike :meth:`intern` this never grows the table, so it is safe
+        to use for membership probes on a read-only store.
+        """
+        if value is None:
+            return NULL_ID
+        return self._ids.get(value)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_list(self) -> list[str | None]:
+        """JSON-friendly dump (index == id)."""
+        return list(self._strings)
+
+    @classmethod
+    def from_list(cls, strings: list[str | None]) -> "StringTable":
+        table = cls()
+        for ident, value in enumerate(strings):
+            if ident == NULL_ID:
+                continue
+            table._ids[value] = ident
+            table._strings.append(value)
+        return table
+
+    def __getstate__(self) -> list[str | None]:
+        return self.to_list()
+
+    def __setstate__(self, state: list[str | None]) -> None:
+        self._ids = {}
+        self._strings = [None]
+        for ident, value in enumerate(state):
+            if ident == NULL_ID:
+                continue
+            self._ids[value] = ident
+            self._strings.append(value)

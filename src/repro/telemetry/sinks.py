@@ -1,0 +1,90 @@
+"""Disk sinks: JSONL spill for event logs too big for RAM.
+
+:class:`JsonlSink` streams every appended row to a ``.jsonl`` file as it
+happens, one JSON object per line, keyed by the log's field names.
+Attached with ``replay=True`` it first drains the rows already in the
+log, so it can be bolted onto a running monitor mid-measurement.
+
+:func:`write_jsonl` / :func:`read_jsonl` are the one-shot counterparts
+for finished logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.columns import Field
+from repro.telemetry.eventlog import EventLog
+
+
+class JsonlSink:
+    """Streams rows of one event log to a JSON-lines file.
+
+    The file handle stays open between writes (appends are the hot
+    path); call :meth:`close` — or use the sink as a context manager —
+    when the producing run finishes.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.rows_written = 0
+
+    def write(self, index: int, row: tuple, log: EventLog) -> None:
+        record = dict(zip(log.field_names(), row))
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self.rows_written += 1
+
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_jsonl(log: EventLog, path: str | Path) -> Path:
+    """Dump a finished log to ``path`` as JSON lines; returns the path."""
+    path = Path(path)
+    with JsonlSink(path) as sink:
+        for index in range(len(log)):
+            sink.write(index, log.row(index), log)
+    return path
+
+
+def read_jsonl(
+    path: str | Path,
+    schema,
+    *,
+    log: EventLog | None = None,
+) -> EventLog:
+    """Load a JSON-lines spill back into an event log.
+
+    ``schema`` fixes the field order (JSON objects are unordered); pass
+    an existing ``log`` to append into it — e.g. a typed store — instead
+    of creating a generic :class:`EventLog`.
+    """
+    schema = tuple(
+        f if isinstance(f, Field) else Field(*f) for f in schema
+    )
+    if log is None:
+        log = EventLog(schema)
+    names = [f.name for f in schema]
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            log.append(tuple(record[name] for name in names))
+    return log

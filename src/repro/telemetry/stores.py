@@ -1,0 +1,216 @@
+"""Typed event logs for the measurement's observation streams.
+
+Three schemas cover everything the monitoring infrastructure collects:
+
+* :class:`AccessStore` — scraped activity-page rows (the paper's
+  "unique accesses" raw material);
+* :class:`NotificationStore` — hidden-script notifications;
+* :class:`ScrapeLogStore` / :class:`ScrapeFailureLog` — scraper
+  diagnostics and lockout events.
+
+Each is an :class:`~repro.telemetry.eventlog.EventLog` with a fixed
+schema plus a hand-inlined ``append_fields`` fast path: the ingest hot
+loop writes straight into the column arrays (interning as it goes)
+instead of dispatching through the generic per-column loop, which is
+what buys the multi-x throughput over building frozen dataclasses.
+
+The stores know nothing about ``repro.core`` row types; the monitor and
+:class:`~repro.core.records.ObservedDataset` supply row factories that
+materialise ``ObservedAccess`` / ``NotificationRecord`` objects from
+row tuples when a caller still wants objects.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.columns import Field
+from repro.telemetry.eventlog import EventLog
+from repro.telemetry.interning import StringTable
+
+#: Schema of one scraped activity-page row; field order matches the
+#: ``ObservedAccess`` constructor so ``ObservedAccess(*row)`` works.
+ACCESS_FIELDS: tuple[Field, ...] = (
+    Field("account_address", "intern"),
+    Field("cookie_id", "intern"),
+    Field("ip_address", "intern"),
+    Field("city", "intern"),
+    Field("country", "intern"),
+    Field("latitude", "opt_f64"),
+    Field("longitude", "opt_f64"),
+    Field("device_kind", "intern"),
+    Field("os_family", "intern"),
+    Field("browser", "intern"),
+    Field("user_agent", "intern"),
+    Field("timestamp", "f64"),
+)
+
+#: Schema of one script notification; ``kind`` holds the
+#: ``NotificationKind.value`` string (interned — six distinct values).
+NOTIFICATION_FIELDS: tuple[Field, ...] = (
+    Field("kind", "intern"),
+    Field("account_address", "intern"),
+    Field("timestamp", "f64"),
+    Field("message_id", "intern"),
+    Field("subject", "intern"),
+    Field("body_copy", "obj"),
+)
+
+SCRAPE_LOG_FIELDS: tuple[Field, ...] = (
+    Field("address", "intern"),
+    Field("timestamp", "f64"),
+    Field("outcome", "intern"),
+    Field("new_events", "i64"),
+)
+
+SCRAPE_FAILURE_FIELDS: tuple[Field, ...] = (
+    Field("address", "intern"),
+    Field("timestamp", "f64"),
+)
+
+
+class AccessStore(EventLog):
+    """Columnar store of scraped activity-page rows."""
+
+    def __init__(self, *, strings: StringTable | None = None) -> None:
+        super().__init__(ACCESS_FIELDS, strings=strings)
+        self._after_restore()
+
+    def _after_restore(self) -> None:
+        columns = self._columns
+        self.account_ids = columns[0].ids
+        self.cookie_ids = columns[1].ids
+        self.ip_ids = columns[2].ids
+        self.city_ids = columns[3].ids
+        self.country_ids = columns[4].ids
+        self.latitudes = columns[5].data
+        self.latitude_mask = columns[5].mask
+        self.longitudes = columns[6].data
+        self.longitude_mask = columns[6].mask
+        self.device_ids = columns[7].ids
+        self.os_ids = columns[8].ids
+        self.browser_ids = columns[9].ids
+        self.ua_ids = columns[10].ids
+        self.timestamps = columns[11].data
+        # Bound-method cache: append_fields runs once per scraped row.
+        self._appends = (
+            self.account_ids.append,
+            self.cookie_ids.append,
+            self.ip_ids.append,
+            self.city_ids.append,
+            self.country_ids.append,
+            self.latitudes.append,
+            self.latitude_mask.append,
+            self.longitudes.append,
+            self.longitude_mask.append,
+            self.device_ids.append,
+            self.os_ids.append,
+            self.browser_ids.append,
+            self.ua_ids.append,
+            self.timestamps.append,
+        )
+
+    def append_fields(
+        self,
+        account_address: str,
+        cookie_id: str,
+        ip_address: str,
+        city: str | None,
+        country: str | None,
+        latitude: float | None,
+        longitude: float | None,
+        device_kind: str,
+        os_family: str,
+        browser: str,
+        user_agent: str,
+        timestamp: float,
+    ) -> int:
+        """Ingest one row straight into the columns (hot path)."""
+        intern = self.strings.intern
+        index = len(self.timestamps)
+        (
+            a_account, a_cookie, a_ip, a_city, a_country,
+            a_lat, a_lat_mask, a_lon, a_lon_mask,
+            a_device, a_os, a_browser, a_ua, a_ts,
+        ) = self._appends
+        a_account(intern(account_address))
+        a_cookie(intern(cookie_id))
+        a_ip(intern(ip_address))
+        a_city(intern(city))
+        a_country(intern(country))
+        if latitude is None:
+            a_lat(0.0)
+            a_lat_mask(0)
+        else:
+            a_lat(latitude)
+            a_lat_mask(1)
+        if longitude is None:
+            a_lon(0.0)
+            a_lon_mask(0)
+        else:
+            a_lon(longitude)
+            a_lon_mask(1)
+        a_device(intern(device_kind))
+        a_os(intern(os_family))
+        a_browser(intern(browser))
+        a_ua(intern(user_agent))
+        a_ts(timestamp)
+        if self._sinks:
+            self._notify_sinks(index)
+        return index
+
+
+class NotificationStore(EventLog):
+    """Columnar store of hidden-script notifications."""
+
+    def __init__(self, *, strings: StringTable | None = None) -> None:
+        super().__init__(NOTIFICATION_FIELDS, strings=strings)
+        self._after_restore()
+
+    def _after_restore(self) -> None:
+        columns = self._columns
+        self.kind_ids = columns[0].ids
+        self.account_ids = columns[1].ids
+        self.timestamps = columns[2].data
+        self.message_ids = columns[3].ids
+        self.subject_ids = columns[4].ids
+        self.bodies = columns[5].data
+
+    def append_fields(
+        self,
+        kind_value: str,
+        account_address: str,
+        timestamp: float,
+        message_id: str,
+        subject: str,
+        body_copy: str,
+    ) -> int:
+        """Ingest one notification (hot path; ``kind_value`` is the
+        :class:`~repro.core.notifications.NotificationKind` value)."""
+        intern = self.strings.intern
+        index = len(self.timestamps)
+        self.kind_ids.append(intern(kind_value))
+        self.account_ids.append(intern(account_address))
+        self.timestamps.append(timestamp)
+        self.message_ids.append(intern(message_id))
+        self.subject_ids.append(intern(subject))
+        self.bodies.append(body_copy)
+        if self._sinks:
+            self._notify_sinks(index)
+        return index
+
+
+class ScrapeLogStore(EventLog):
+    """Diagnostic log of scraper visits (outcome per account per visit)."""
+
+    def __init__(self, *, strings: StringTable | None = None) -> None:
+        super().__init__(SCRAPE_LOG_FIELDS, strings=strings)
+
+
+class ScrapeFailureLog(EventLog):
+    """Lockout events: ``(address, timestamp)`` rows.
+
+    Row tuples already match the historical ``list[tuple[str, float]]``
+    shape of ``scrape_failures``, so this log doubles as its own view.
+    """
+
+    def __init__(self, *, strings: StringTable | None = None) -> None:
+        super().__init__(SCRAPE_FAILURE_FIELDS, strings=strings)

@@ -5,10 +5,19 @@ address, geolocated city (when resolvable), and device/browser details.
 The paper's monitoring scripts scrape this page; its analysis counts
 unique accesses by cookie and measures locations.  :class:`ActivityPage`
 is the provider-side log that scraping reads.
+
+The page is append-only and time-ordered (the simulator's clock is
+monotonic), so incremental consumers never rescan: each account keeps a
+parallel timestamp array for O(log n) time bisection, and
+:meth:`ActivityPage.read_from` hands scrapers an index cursor so every
+visit costs O(new events) regardless of how much history the account
+has accumulated.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.netsim.fingerprint import DeviceFingerprint
@@ -39,10 +48,19 @@ class ActivityPage:
     """Per-account access log, append-only, scrape-friendly."""
 
     _events: dict[str, list[AccessEvent]] = field(default_factory=dict)
+    #: Parallel per-account timestamp columns for bisection; appends are
+    #: monotone because the simulator clock never goes backwards.
+    _times: dict[str, array] = field(default_factory=dict)
 
     def record(self, event: AccessEvent) -> None:
         """Append an access event for its account."""
-        self._events.setdefault(event.account_address, []).append(event)
+        address = event.account_address
+        events = self._events.get(address)
+        if events is None:
+            events = self._events[address] = []
+            self._times[address] = array("d")
+        events.append(event)
+        self._times[address].append(event.timestamp)
 
     def events_for(self, account_address: str) -> tuple[AccessEvent, ...]:
         """All recorded events for an account, oldest first."""
@@ -51,12 +69,34 @@ class ActivityPage:
     def events_since(
         self, account_address: str, after_time: float
     ) -> tuple[AccessEvent, ...]:
-        """Events strictly newer than ``after_time`` (incremental scrape)."""
-        return tuple(
-            e
-            for e in self._events.get(account_address, ())
-            if e.timestamp > after_time
-        )
+        """Events strictly newer than ``after_time`` (incremental scrape).
+
+        O(log n + new events) via bisection on the timestamp column —
+        scrapers that remember their index should prefer
+        :meth:`read_from`, which needs no search at all.
+        """
+        events = self._events.get(account_address)
+        if not events:
+            return ()
+        start = bisect_right(self._times[account_address], after_time)
+        return tuple(events[start:])
+
+    def read_from(
+        self, account_address: str, cursor: int
+    ) -> tuple[tuple[AccessEvent, ...], int]:
+        """Events appended at or after index ``cursor``, plus the new cursor.
+
+        The returned cursor is the index one past the last event read;
+        passing it back on the next visit yields only fresh events.
+        """
+        events = self._events.get(account_address)
+        if not events:
+            return (), cursor
+        return tuple(events[cursor:]), len(events)
+
+    def event_count(self, account_address: str) -> int:
+        """Number of recorded events for one account."""
+        return len(self._events.get(account_address, ()))
 
     def total_events(self) -> int:
         """Total events across accounts (diagnostics)."""

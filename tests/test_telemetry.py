@@ -1,0 +1,458 @@
+"""Tests for the repro.telemetry columnar event-log spine."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.monitor import MonitorInfrastructure
+from repro.core.notifications import (
+    NotificationKind,
+    NotificationRecord,
+    heartbeat,
+)
+from repro.core.records import ObservedAccess, ObservedDataset
+from repro.netsim.cities import city_by_name
+from repro.sim.clock import hours
+from repro.sim.engine import Simulator
+from repro.telemetry import (
+    AccessStore,
+    CountByKey,
+    EventLog,
+    Field,
+    JsonlSink,
+    NotificationStore,
+    OnlineStats,
+    RowView,
+    ScrapeFailureLog,
+    StreamingECDF,
+    StringTable,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.webmail.account import Credentials
+from repro.webmail.activity import ActivityPage
+from repro.webmail.service import LoginContext, WebmailService
+
+
+def make_access(account="a@x.example", cookie="ck-1", timestamp=0.0,
+                city="Paris"):
+    return ObservedAccess(
+        account_address=account,
+        cookie_id=cookie,
+        ip_address="10.0.0.1",
+        city=city,
+        country="FR" if city else None,
+        latitude=48.86 if city else None,
+        longitude=2.35 if city else None,
+        device_kind="desktop",
+        os_family="Windows",
+        browser="chrome",
+        user_agent="UA",
+        timestamp=timestamp,
+    )
+
+
+class TestStringTable:
+    def test_intern_is_idempotent(self):
+        table = StringTable()
+        first = table.intern("hello")
+        assert table.intern("hello") == first
+        assert table.lookup(first) == "hello"
+
+    def test_none_reserved(self):
+        table = StringTable()
+        assert table.intern(None) == 0
+        assert table.lookup(0) is None
+
+    def test_id_of_never_grows(self):
+        table = StringTable()
+        assert table.id_of("absent") is None
+        assert len(table) == 1
+
+    def test_round_trips(self):
+        table = StringTable()
+        for value in ("a", "b", "c"):
+            table.intern(value)
+        rebuilt = StringTable.from_list(table.to_list())
+        assert rebuilt.to_list() == table.to_list()
+        assert rebuilt.id_of("b") == table.id_of("b")
+        pickled = pickle.loads(pickle.dumps(table))
+        assert pickled.to_list() == table.to_list()
+        assert pickled.intern("d") == len(table.to_list())
+
+
+class TestEventLog:
+    SCHEMA = (
+        Field("name", "intern"),
+        Field("value", "f64"),
+        Field("count", "i64"),
+        Field("maybe", "opt_f64"),
+        Field("payload", "obj"),
+    )
+
+    def make_log(self):
+        log = EventLog(self.SCHEMA)
+        log.append(("alpha", 1.5, 3, None, "p1"))
+        log.append(("beta", 2.5, 4, 7.25, "p2"))
+        return log
+
+    def test_row_round_trip(self):
+        log = self.make_log()
+        assert log.row(0) == ("alpha", 1.5, 3, None, "p1")
+        assert log.row(1) == ("beta", 2.5, 4, 7.25, "p2")
+        assert log[-1] == log.row(1)
+        assert list(log) == [log.row(0), log.row(1)]
+
+    def test_row_length_checked(self):
+        log = EventLog(self.SCHEMA)
+        with pytest.raises(ValueError):
+            log.append(("too", "short"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(())
+
+    def test_columns_and_values(self):
+        log = self.make_log()
+        assert log.values("name") == ["alpha", "beta"]
+        assert log.values("maybe") == [None, 7.25]
+        assert list(log.column("count").data) == [3, 4]
+
+    def test_cursor_reads_only_new(self):
+        log = self.make_log()
+        cursor = log.cursor()
+        assert len(cursor.read_new()) == 2
+        assert cursor.read_new() == []
+        tail_cursor = log.cursor(at_end=True)
+        assert tail_cursor.read_new() == []
+        log.append(("gamma", 0.0, 0, None, None))
+        assert cursor.pending == 1
+        assert cursor.read_new() == [("gamma", 0.0, 0, None, None)]
+        cursor.rewind()
+        assert len(cursor.read_new()) == 3
+
+    def test_json_round_trip(self):
+        log = self.make_log()
+        payload = json.loads(json.dumps(log.to_json_dict()))
+        rebuilt = EventLog.from_json_dict(payload)
+        assert list(rebuilt) == list(log)
+        assert rebuilt.schema == log.schema
+
+    def test_pickle_round_trip_and_appendable(self):
+        log = self.make_log()
+        rebuilt = pickle.loads(pickle.dumps(log))
+        assert list(rebuilt) == list(log)
+        rebuilt.append(("gamma", 3.5, 5, 1.0, None))
+        assert len(rebuilt) == 3
+
+    def test_sink_sees_appends_and_replay(self):
+        log = self.make_log()
+        seen = []
+
+        class Probe:
+            def write(self, index, row, source):
+                seen.append((index, row[0]))
+
+        log.attach_sink(Probe(), replay=True)
+        assert seen == [(0, "alpha"), (1, "beta")]
+        log.append(("gamma", 0.0, 0, None, None))
+        assert seen[-1] == (2, "gamma")
+
+
+class TestAggregators:
+    def test_count_by_key(self):
+        counter = CountByKey(key=lambda row: row[0])
+        log = EventLog((Field("k", "intern"),))
+        log.attach_sink(counter)
+        for key in ("a", "b", "a", "a"):
+            log.append((key,))
+        assert counter.counts == {"a": 3, "b": 1}
+        assert counter.total() == 4
+        assert counter.most_common(1) == [("a", 3)]
+
+    def test_streaming_ecdf(self):
+        ecdf = StreamingECDF(value=lambda row: row[0])
+        log = EventLog((Field("v", "opt_f64"),))
+        log.attach_sink(ecdf)
+        for value in (3.0, None, 1.0, 2.0):
+            log.append((value,))
+        assert len(ecdf) == 3
+        assert ecdf.sorted_values() == [1.0, 2.0, 3.0]
+        assert ecdf.ecdf_points()[-1] == (3.0, 1.0)
+        assert ecdf.quantile(0.0) == 1.0
+        assert ecdf.quantile(1.0) == 3.0
+        log.append((4.0,))
+        # Nearest rank: the median of an even sample is the lower middle.
+        assert ecdf.quantile(0.5) == 2.0
+        assert ecdf.quantile(0.25) == 1.0
+
+    def test_streaming_ecdf_empty_quantile(self):
+        ecdf = StreamingECDF(value=lambda row: row[0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.5)
+
+    def test_online_stats_merge_matches_serial(self):
+        left = OnlineStats(value=lambda row: row[0])
+        right = OnlineStats(value=lambda row: row[0])
+        serial = OnlineStats(value=lambda row: row[0])
+        for sample in (1.0, 5.0, 2.0):
+            left.add(sample)
+            serial.add(sample)
+        for sample in (8.0, 3.0):
+            right.add(sample)
+            serial.add(sample)
+        left.merge(right)
+        assert left.count == serial.count
+        assert left.mean == pytest.approx(serial.mean)
+        assert left.variance == pytest.approx(serial.variance)
+        assert (left.minimum, left.maximum) == (1.0, 8.0)
+
+
+class TestJsonlSink:
+    def test_stream_and_read_back(self, tmp_path):
+        log = EventLog((Field("name", "intern"), Field("v", "f64")))
+        sink = JsonlSink(tmp_path / "rows.jsonl")
+        log.attach_sink(sink)
+        log.append(("a", 1.0))
+        log.append(("b", 2.0))
+        sink.close()
+        lines = (tmp_path / "rows.jsonl").read_text().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+        rebuilt = read_jsonl(tmp_path / "rows.jsonl", log.schema)
+        assert list(rebuilt) == list(log)
+
+    def test_write_jsonl_one_shot(self, tmp_path):
+        store = NotificationStore()
+        store.append_fields("read", "a@x", 1.0, "m1", "s", "body")
+        path = write_jsonl(store, tmp_path / "n.jsonl")
+        rebuilt = read_jsonl(path, store.schema, log=NotificationStore())
+        assert list(rebuilt) == list(store)
+
+
+class TestTypedStores:
+    def test_access_store_row_matches_dataclass(self):
+        from repro.core.records import access_to_fields
+
+        store = AccessStore()
+        access = make_access()
+        store.append_fields(*access_to_fields(access))
+        assert ObservedAccess(*store.row(0)) == access
+
+    def test_shared_string_table(self):
+        strings = StringTable()
+        access = AccessStore(strings=strings)
+        notes = NotificationStore(strings=strings)
+        access.append_fields(*[
+            "a@x", "ck", "ip", None, None, None, None,
+            "desktop", "os", "browser", "ua", 1.0,
+        ])
+        notes.append_fields("read", "a@x", 2.0, "m", "s", "b")
+        assert strings.id_of("a@x") is not None
+        assert access.account_ids[0] == notes.account_ids[0]
+
+    def test_row_view_lazy_and_sliceable(self):
+        store = AccessStore()
+        from repro.core.records import access_row_factory, access_to_fields
+
+        for i in range(3):
+            store.append_fields(
+                *access_to_fields(make_access(cookie=f"ck-{i}",
+                                              timestamp=float(i)))
+            )
+        view = RowView(store, access_row_factory)
+        assert len(view) == 3
+        assert view[0].cookie_id == "ck-0"
+        assert view[-1].cookie_id == "ck-2"
+        assert [a.cookie_id for a in view[1:]] == ["ck-1", "ck-2"]
+        with pytest.raises(IndexError):
+            view[3]
+
+
+class TestObservedDatasetColumnar:
+    def test_assign_and_read_back(self):
+        dataset = ObservedDataset()
+        rows = [make_access(cookie="ck-1"), make_access(cookie="ck-2")]
+        dataset.accesses = rows
+        assert list(dataset.accesses) == rows
+        dataset.notifications = [heartbeat("a@x.example", 1.0)]
+        assert dataset.notifications[0].kind is NotificationKind.HEARTBEAT
+        dataset.scrape_failures = [("a@x.example", 5.0)]
+        assert tuple(dataset.scrape_failures[0]) == ("a@x.example", 5.0)
+
+    def test_pickle_round_trip(self):
+        dataset = ObservedDataset()
+        dataset.accesses = [make_access()]
+        dataset.notifications = [heartbeat("a@x.example", 1.0)]
+        dataset.monitor_ips = {"10.9.9.9"}
+        dataset.monitor_city = "Reading"
+        rebuilt = pickle.loads(pickle.dumps(dataset))
+        assert list(rebuilt.accesses) == list(dataset.accesses)
+        assert list(rebuilt.notifications) == list(dataset.notifications)
+        assert rebuilt.monitor_ips == {"10.9.9.9"}
+
+    def test_json_round_trip(self):
+        from repro.core.groups import paper_leak_plan
+        from repro.core.records import AccountProvenance
+
+        dataset = ObservedDataset()
+        dataset.accesses = [make_access(), make_access(city=None)]
+        dataset.notifications = [
+            NotificationRecord(
+                kind=NotificationKind.READ,
+                account_address="a@x.example",
+                timestamp=2.0,
+                message_id="m-1",
+                subject="hi",
+                body_copy="text",
+            )
+        ]
+        dataset.scrape_failures = [("a@x.example", 3.0)]
+        dataset.provenance["a@x.example"] = AccountProvenance(
+            address="a@x.example",
+            group=paper_leak_plan().group("malware"),
+            leak_time=1.0,
+        )
+        dataset.monitor_ips = {"10.0.0.9"}
+        dataset.monitor_city = "Reading"
+        dataset.all_email_texts = {"a@x.example": ["seed text"]}
+        dataset.blocked_accounts = [("a@x.example", 9.0)]
+        payload = json.loads(json.dumps(dataset.to_json_dict()))
+        rebuilt = ObservedDataset.from_json_dict(payload)
+        assert list(rebuilt.accesses) == list(dataset.accesses)
+        assert list(rebuilt.notifications) == list(dataset.notifications)
+        assert [tuple(r) for r in rebuilt.scrape_failures] == [
+            ("a@x.example", 3.0)
+        ]
+        assert rebuilt.provenance.keys() == dataset.provenance.keys()
+        assert rebuilt.provenance["a@x.example"].group.name == "malware"
+        assert rebuilt.blocked_accounts == [("a@x.example", 9.0)]
+
+    def test_to_legacy_matches_views(self):
+        dataset = ObservedDataset()
+        dataset.accesses = [make_access()]
+        dataset.notifications = [heartbeat("a@x.example", 1.0)]
+        legacy = dataset.to_legacy()
+        assert legacy.accesses == list(dataset.accesses)
+        assert legacy.notifications == list(dataset.notifications)
+        assert legacy.accesses_for("a@x.example") == list(dataset.accesses)
+
+
+class TestActivityPageCursors:
+    def make_event(self, timestamp):
+        from repro.netsim.fingerprint import DeviceFingerprint, DeviceKind
+        from repro.webmail.activity import AccessEvent
+        from repro.webmail.sessions import Cookie
+
+        return AccessEvent(
+            account_address="a@x.example",
+            cookie=Cookie(f"c-{timestamp}"),
+            ip_address="10.0.0.1",
+            location=None,
+            fingerprint=DeviceFingerprint(
+                kind=DeviceKind.DESKTOP,
+                os_family="Linux",
+                browser="firefox",
+                user_agent="UA",
+            ),
+            timestamp=timestamp,
+        )
+
+    def test_read_from_advances(self):
+        page = ActivityPage()
+        for t in (1.0, 2.0):
+            page.record(self.make_event(t))
+        events, cursor = page.read_from("a@x.example", 0)
+        assert [e.timestamp for e in events] == [1.0, 2.0]
+        events, cursor = page.read_from("a@x.example", cursor)
+        assert events == ()
+        page.record(self.make_event(3.0))
+        events, cursor = page.read_from("a@x.example", cursor)
+        assert [e.timestamp for e in events] == [3.0]
+        assert cursor == 3
+
+    def test_read_from_unknown_account(self):
+        page = ActivityPage()
+        assert page.read_from("nobody@x", 0) == ((), 0)
+
+    def test_events_since_bisects_identically(self):
+        page = ActivityPage()
+        for t in (1.0, 2.0, 2.0, 5.0):
+            page.record(self.make_event(t))
+        assert [
+            e.timestamp for e in page.events_since("a@x.example", 2.0)
+        ] == [5.0]
+        assert len(page.events_since("a@x.example", 0.0)) == 4
+        assert page.events_since("a@x.example", 9.0) == ()
+        assert page.event_count("a@x.example") == 4
+
+
+class TestMonitorTelemetry:
+    PASSWORD = "leakedpass99"
+
+    def make_world(self, geo):
+        sim = Simulator()
+        service = WebmailService(geo, __import__("random").Random(3))
+        service.create_account(
+            Credentials("target@gmail.example", self.PASSWORD), "Target"
+        )
+        monitor = MonitorInfrastructure(
+            sim, service, geo, city_by_name("Reading"),
+            scrape_period=hours(6),
+        )
+        monitor.watch("target@gmail.example", self.PASSWORD)
+        monitor.start()
+        return sim, service, monitor
+
+    def test_notification_counts(self, geo):
+        _, _, monitor = self.make_world(geo)
+        monitor.notification_sink(heartbeat("target@gmail.example", 1.0))
+        monitor.notification_sink(heartbeat("target@gmail.example", 2.0))
+        assert monitor.notification_counts == {"heartbeat": 2}
+
+    def test_spill_telemetry_streams_jsonl(self, geo, tmp_path):
+        sim, service, monitor = self.make_world(geo)
+
+        def attacker_login():
+            context = LoginContext(
+                device_id="atk-dev",
+                ip_address=geo.allocate_in_city(city_by_name("Paris")),
+                user_agent="",
+            )
+            service.login(
+                "target@gmail.example", self.PASSWORD, context, sim.now
+            )
+
+        paths = monitor.spill_telemetry(tmp_path)
+        sim.schedule_at(hours(1), attacker_login)
+        sim.run_until(hours(13))
+        monitor.stop()
+        monitor.close_spill()
+        lines = paths[0].read_text().strip().splitlines()
+        assert len(lines) == len(monitor.access_store)
+        cities = [json.loads(line)["city"] for line in lines]
+        assert "Paris" in cities
+        # Closed sinks are detached: the stores stay appendable (they
+        # live on inside the run's dataset after the zero-copy handoff).
+        assert monitor.access_store.sinks == ()
+        monitor.notification_sink(heartbeat("target@gmail.example", 99.0))
+
+    def test_scrape_uses_cursor_not_rescans(self, geo):
+        sim, service, monitor = self.make_world(geo)
+        sim.run_until(hours(19))
+        watched = monitor._watched["target@gmail.example"]
+        assert watched.cursor == service.activity.event_count(
+            "target@gmail.example"
+        )
+        # No duplicate ingestion across scrapes.
+        cookies = [a.cookie_id for a in monitor.scraped_accesses]
+        assert len(cookies) == len(monitor.access_store)
+
+    def test_stores_share_one_string_table(self, geo):
+        _, _, monitor = self.make_world(geo)
+        assert monitor.access_store.strings is monitor.telemetry_strings
+        assert (
+            monitor.notification_store.strings is monitor.telemetry_strings
+        )
+        assert monitor.scrape_log_store.strings is monitor.telemetry_strings
+        assert monitor.failure_log.strings is monitor.telemetry_strings

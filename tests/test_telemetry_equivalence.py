@@ -1,0 +1,100 @@
+"""Golden equivalence: columnar analysis == the seed's object path.
+
+The refactor's contract is that ``analyze()`` over the columnar
+:class:`~repro.core.records.ObservedDataset` is field-for-field
+identical to the seed's list-of-dataclass path.  The legacy container
+(:class:`~repro.core.records.LegacyObservedDataset`) still exercises
+the original row-iteration code in the analysis layer, so running both
+and comparing every ``AnalysisResults`` field is a direct oracle.
+
+Covers the ``fast`` and ``paste_only`` scenarios across 3 seeds (with a
+shortened window to keep the suite quick), plus pickle and JSON round
+trips of the columnar store feeding the same analysis.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.analysis.dataset import analyze
+from repro.api.registry import scenarios
+from repro.core.records import ObservedDataset
+
+#: Every AnalysisResults field that carries Section 4 output.  The
+#: ``dataset`` backreference is intentionally excluded (the two paths
+#: hold different container types for the same data).
+COMPARED_FIELDS = (
+    "unique_accesses",
+    "classified",
+    "label_totals",
+    "outlet_distribution",
+    "durations_by_label",
+    "delays_by_outlet",
+    "delays_by_group",
+    "timeline_by_outlet",
+    "circles_uk",
+    "circles_us",
+    "distances_uk",
+    "distances_us",
+    "keywords",
+    "emails_read",
+    "emails_sent",
+    "unique_drafts",
+    "located_accesses",
+    "unlocated_accesses",
+    "countries",
+    "scan_period",
+)
+
+DURATION_DAYS = 45.0
+SEEDS = (2016, 7, 99)
+
+
+def run_dataset(scenario_name: str, seed: int):
+    scenario = (
+        scenarios.get(scenario_name)
+        .to_builder()
+        .with_duration_days(DURATION_DAYS)
+        .build()
+    )
+    run = scenario.run(seed=seed)
+    return run.dataset, run.config.scan_period
+
+
+def assert_analysis_equal(columnar, legacy):
+    for name in COMPARED_FIELDS:
+        assert getattr(columnar, name) == getattr(legacy, name), (
+            f"analysis field {name!r} differs between the columnar "
+            "and object paths"
+        )
+
+
+@pytest.mark.parametrize("scenario_name", ["fast", "paste_only"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_columnar_analysis_matches_object_path(scenario_name, seed):
+    dataset, scan_period = run_dataset(scenario_name, seed)
+    columnar = analyze(dataset, scan_period=scan_period)
+    legacy = analyze(dataset.to_legacy(), scan_period=scan_period)
+    assert columnar.total_unique_accesses > 0
+    assert_analysis_equal(columnar, legacy)
+
+
+def test_pickle_round_trip_preserves_analysis():
+    dataset, scan_period = run_dataset("fast", SEEDS[0])
+    rebuilt = pickle.loads(pickle.dumps(dataset))
+    assert isinstance(rebuilt, ObservedDataset)
+    assert_analysis_equal(
+        analyze(rebuilt, scan_period=scan_period),
+        analyze(dataset, scan_period=scan_period),
+    )
+
+
+def test_json_round_trip_preserves_analysis():
+    dataset, scan_period = run_dataset("paste_only", SEEDS[1])
+    payload = json.loads(json.dumps(dataset.to_json_dict()))
+    rebuilt = ObservedDataset.from_json_dict(payload)
+    assert_analysis_equal(
+        analyze(rebuilt, scan_period=scan_period),
+        analyze(dataset, scan_period=scan_period),
+    )
