@@ -1,6 +1,6 @@
 """Old object path vs columnar telemetry: ingest, memory, analysis.
 
-Four measurements, written to ``BENCH_telemetry.json``:
+Five measurements, written to ``BENCH_telemetry.json``:
 
 * **pipeline ingest** — the scrape ingest pipeline as the seed ran it
   (per-visit ``events_since`` time-filter rescan of each account's full
@@ -22,6 +22,10 @@ Four measurements, written to ``BENCH_telemetry.json``:
   ``scaled(n)`` run's columnar dataset vs the same data materialised
   through the legacy list-of-dataclass container, plus an equality
   check on the headline result.
+* **population build** — attacker-population spawning through the
+  persona registry (mix draw + hook dispatch per agent) vs a replica of
+  the seed's hard-coded class-mix spawner.  The acceptance gate fails
+  if the registry-based builder is more than 1.25x slower.
 
 Usage::
 
@@ -257,6 +261,231 @@ def bench_analysis(n_accounts: int, duration_days: float | None) -> dict:
     }
 
 
+class _LegacyMixSpawner:
+    """The seed's hard-coded paste spawner, kept as the bench baseline.
+
+    Replicates the pre-persona draw sequence (class-set mix table,
+    inline hijacker delay, malleability/anonymisation/device draws)
+    using the same primitives, so timing it against the registry-based
+    :class:`~repro.attackers.population.AttackerPopulation` isolates
+    the cost of the persona indirection.
+    """
+
+    def __init__(self, sim, service, geo, anonymity, rng) -> None:
+        from repro.attackers import population as pop
+        from repro.attackers.agent import AttackerAgent
+        from repro.attackers.sophistication import (
+            AttackerProfile,
+            SophisticationLevel,
+            TaxonomyClass,
+        )
+        from repro.netsim.useragents import UserAgentFactory
+
+        self._pop = pop
+        self._AttackerAgent = AttackerAgent
+        self._AttackerProfile = AttackerProfile
+        self._Level = SophisticationLevel
+        self._Tax = TaxonomyClass
+        self.sim = sim
+        self.service = service
+        self.geo = geo
+        self.anonymity = anonymity
+        self.rng = rng
+        self.config = pop.PopulationConfig()
+        self._ua_factory = UserAgentFactory(rng)
+        self._counter = 0
+        self.agents = []
+        gold = frozenset({TaxonomyClass.GOLD_DIGGER})
+        hijack = frozenset({TaxonomyClass.HIJACKER})
+        spam = frozenset({TaxonomyClass.SPAMMER})
+        self._mix = (
+            (frozenset({TaxonomyClass.CURIOUS}), 0.690),
+            (gold, 0.150),
+            (hijack, 0.070),
+            (gold | hijack, 0.040),
+            (hijack | spam, 0.025),
+            (gold | spam, 0.025),
+        )
+
+    def spawn_paste(self, event, password: str) -> None:
+        from repro.attackers.arrival import (
+            lognormal_from_median,
+            sample_arrival_delay,
+            sample_return_gaps,
+        )
+        from repro.leaks.forums import _poisson
+        from repro.leaks.pastesites import SITE_PROFILES
+        from repro.netsim.anonymity import OriginKind
+        from repro.sim.clock import days
+
+        pop = self._pop
+        cfg = self.config
+        rng = self.rng
+        profile_spec = SITE_PROFILES[event.venue]
+        count = _poisson(rng, profile_spec.audience_rate)
+        for _ in range(count):
+            arrival = event.leak_time + sample_arrival_delay(
+                rng,
+                median_days=profile_spec.propagation_median_days,
+                sigma=cfg.paste_sigma,
+                dormancy_days=profile_spec.dormancy_days,
+                horizon_days=cfg.horizon_days,
+            )
+            roll = rng.random()
+            cumulative = 0.0
+            classes = self._mix[-1][0]
+            for class_set, weight in self._mix:
+                cumulative += weight
+                if roll < cumulative:
+                    classes = class_set
+                    break
+            if self._Tax.HIJACKER in classes:
+                arrival += days(
+                    lognormal_from_median(
+                        rng, cfg.hijacker_extra_delay_median_days, 1.0
+                    )
+                )
+            if rng.random() < cfg.paste_anonymise_prob:
+                origin = (
+                    OriginKind.PROXY
+                    if rng.random() < cfg.proxy_share_of_anonymised
+                    else OriginKind.TOR
+                )
+            else:
+                origin = OriginKind.DIRECT
+            origin_city = None
+            if origin is OriginKind.DIRECT:
+                entries = [e for e, _ in pop._PASTE_BACKGROUND]
+                weights = [w for _, w in pop._PASTE_BACKGROUND]
+                chosen = rng.choices(entries, weights=weights, k=1)[0]
+                kind, _, value = chosen.partition(":")
+                if kind == "city":
+                    origin_city = value
+                else:
+                    from repro.netsim.cities import cities_in_region
+
+                    origin_city = rng.choice(
+                        list(cities_in_region(value))
+                    ).name
+            if rng.random() < cfg.paste_return_prob:
+                visits = rng.randint(2, cfg.max_return_visits)
+                span = rng.uniform(2.0, 12.0)
+            else:
+                visits, span = 1, 0.0
+            self._counter += 1
+            profile = self._AttackerProfile(
+                attacker_id=f"atk-{self._counter:05d}",
+                outlet=event.outlet,
+                classes=classes,
+                level=self._Level.MEDIUM,
+                origin=origin,
+                origin_city=origin_city,
+                hide_user_agent=False,
+                location_malleable=False,
+                android_device=(
+                    origin is OriginKind.DIRECT
+                    and rng.random() < cfg.android_prob
+                ),
+                infected_host=(
+                    origin is OriginKind.DIRECT
+                    and rng.random() < cfg.infected_host_prob
+                ),
+                visits=visits,
+                visit_span_days=span,
+            )
+            agent = self._AttackerAgent(
+                profile,
+                event.account_address,
+                password,
+                sim=self.sim,
+                service=self.service,
+                geo=self.geo,
+                anonymity=self.anonymity,
+                ua_factory=self._ua_factory,
+                rng=random.Random(rng.getrandbits(64)),
+            )
+            agent.schedule(
+                arrival, sample_return_gaps(rng, visits, span)
+            )
+            self.agents.append(agent)
+
+
+def bench_population(events: int) -> dict:
+    """Registry-based population build vs the hard-coded baseline."""
+    from repro.attackers.population import AttackerPopulation
+    from repro.core.groups import LocationHint, paper_leak_plan
+    from repro.corpus.identity import IdentityFactory
+    from repro.leaks.formats import leak_content_for
+    from repro.leaks.outlet import LeakEvent
+    from repro.netsim.anonymity import AnonymityNetwork
+    from repro.netsim.geo import GeoDatabase
+    from repro.sim.clock import days
+    from repro.sim.engine import Simulator
+    from repro.webmail.account import Credentials
+    from repro.webmail.service import WebmailService
+
+    group = paper_leak_plan().group("paste_popular_noloc")
+    identity_rng = random.Random(20160625)
+    leak_events = []
+    for index in range(events):
+        identity = IdentityFactory(
+            random.Random(identity_rng.randrange(1 << 30))
+        ).create(None)
+        content = leak_content_for(
+            identity,
+            Credentials(identity.address, "p123456"),
+            LocationHint.NONE,
+        )
+        leak_events.append(
+            LeakEvent(
+                content=content,
+                group=group,
+                venue="pastebin.com",
+                leak_time=days(index % 5),
+            )
+        )
+
+    def world():
+        geo = GeoDatabase(random.Random(7))
+        service = WebmailService(geo, random.Random(8))
+        anonymity = AnonymityNetwork(geo, random.Random(9))
+        return Simulator(), service, geo, anonymity
+
+    sim, service, geo, anonymity = world()
+    legacy = _LegacyMixSpawner(sim, service, geo, anonymity, random.Random(3))
+    started = time.perf_counter()
+    for event in leak_events:
+        legacy.spawn_paste(event, "p123456")
+    legacy_seconds = time.perf_counter() - started
+
+    sim, service, geo, anonymity = world()
+    population = AttackerPopulation(
+        sim=sim,
+        service=service,
+        geo=geo,
+        anonymity=anonymity,
+        rng=random.Random(3),
+    )
+    started = time.perf_counter()
+    for event in leak_events:
+        population.spawn_for_leak(event, "p123456")
+    registry_seconds = time.perf_counter() - started
+
+    return {
+        "events": events,
+        "legacy_agents": len(legacy.agents),
+        "registry_agents": len(population.agents),
+        "legacy_seconds": legacy_seconds,
+        "registry_seconds": registry_seconds,
+        "ratio": registry_seconds / max(legacy_seconds, 1e-9),
+    }
+
+
+#: The population acceptance gate: the registry-based builder may cost
+#: at most this factor over the hard-coded baseline.
+POPULATION_REGRESSION_LIMIT = 1.25
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -276,10 +505,12 @@ def main(argv: list[str] | None = None) -> int:
         accounts, rounds, append_rows, n_accounts, duration = (
             60, 240, 30_000, 60, 30.0
         )
+        population_events = 200
     else:
         accounts, rounds, append_rows, n_accounts, duration = (
             200, 600, 300_000, 200, None
         )
+        population_events = 1200
 
     pipeline = bench_pipeline(accounts, rounds, mean_events=2.0)
     print(
@@ -310,12 +541,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{analysis['access_rows']} access rows"
     )
 
+    population = bench_population(population_events)
+    print(
+        f"population build ({population['events']} leak events, "
+        f"{population['registry_agents']} agents): "
+        f"legacy {population['legacy_seconds']:.3f}s, "
+        f"registry {population['registry_seconds']:.3f}s "
+        f"({population['ratio']:.2f}x)"
+    )
+
     payload = {
         "quick": args.quick,
         "pipeline_ingest": pipeline,
         "row_append": row_append,
         "memory": memory,
         "analysis": analysis,
+        "population_build": population,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -324,6 +565,14 @@ def main(argv: list[str] | None = None) -> int:
     if pipeline["speedup"] < 1.0:
         print(
             "FAIL: columnar ingest pipeline is slower than the object path",
+            file=sys.stderr,
+        )
+        return 1
+    if population["ratio"] > POPULATION_REGRESSION_LIMIT:
+        print(
+            "FAIL: persona-registry population build regressed "
+            f"{population['ratio']:.2f}x over the hard-coded baseline "
+            f"(limit {POPULATION_REGRESSION_LIMIT}x)",
             file=sys.stderr,
         )
         return 1

@@ -58,6 +58,7 @@ from repro.analysis.dataset import (
 from repro.analysis.report import (
     OverviewStats,
     SignificanceTests,
+    format_persona_report,
     format_table2,
     format_taxonomy_summary,
     overview,
@@ -67,9 +68,13 @@ from repro.api import (
     AggregateStats,
     BatchResult,
     BatchRunner,
+    Persona,
+    PersonaMix,
     RunResult,
     Scenario,
     ScenarioBuilder,
+    personas,
+    register_persona,
     run_scenario,
     scenarios,
 )
@@ -103,6 +108,8 @@ __all__ = [
     "LeakPlan",
     "OutletKind",
     "OverviewStats",
+    "Persona",
+    "PersonaMix",
     "RowView",
     "RunResult",
     "Scenario",
@@ -113,10 +120,13 @@ __all__ = [
     "__version__",
     "analyze",
     "analyze_experiment",
+    "format_persona_report",
     "format_table2",
     "format_taxonomy_summary",
     "overview",
     "paper_leak_plan",
+    "personas",
+    "register_persona",
     "run_paper_experiment",
     "run_scenario",
     "scenarios",

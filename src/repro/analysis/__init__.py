@@ -21,7 +21,15 @@ from repro.analysis.durations import access_durations, time_to_first_access
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.geodist import MedianCircle, distance_vectors, median_circles
 from repro.analysis.keywords import KeywordInference, infer_searched_words
-from repro.analysis.taxonomy import TaxonomyLabel, classify_accesses
+from repro.analysis.taxonomy import (
+    PERSONA_OTHER_BUCKET,
+    PersonaGroundTruthReport,
+    PersonaLabelMetrics,
+    TaxonomyLabel,
+    classify_accesses,
+    persona_ground_truth_report,
+    persona_signature_table,
+)
 from repro.analysis.tfidf import TfidfTable, compute_tfidf_table
 
 __all__ = [
@@ -30,6 +38,9 @@ __all__ = [
     "Ecdf",
     "KeywordInference",
     "MedianCircle",
+    "PERSONA_OTHER_BUCKET",
+    "PersonaGroundTruthReport",
+    "PersonaLabelMetrics",
     "TaxonomyLabel",
     "TfidfTable",
     "UniqueAccess",
@@ -43,5 +54,7 @@ __all__ = [
     "extract_unique_accesses",
     "infer_searched_words",
     "median_circles",
+    "persona_ground_truth_report",
+    "persona_signature_table",
     "time_to_first_access",
 ]

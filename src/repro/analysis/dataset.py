@@ -24,10 +24,12 @@ from repro.analysis.geodist import MedianCircle, distance_vectors, median_circle
 from repro.analysis.keywords import KeywordInference, infer_searched_words
 from repro.analysis.taxonomy import (
     ClassifiedAccess,
+    PersonaGroundTruthReport,
     TaxonomyLabel,
     classify_accesses,
     label_counts,
     outlet_label_distribution,
+    persona_ground_truth_report,
 )
 from repro.core.notifications import NotificationKind
 from repro.core.records import ObservedDataset
@@ -61,6 +63,12 @@ class AnalysisResults:
     #: The scan period the accesses were classified under; recorded so
     #: downstream consumers can tell which cadence produced the labels.
     scan_period: float = hours(2)
+    #: Classifier precision/recall against the simulation's per-access
+    #: ground-truth persona labels (all-unmatched when the dataset
+    #: carries no ground truth).
+    persona_report: PersonaGroundTruthReport = field(
+        default_factory=PersonaGroundTruthReport
+    )
     #: Lazily-built outlet -> unique accesses index; callers loop over
     #: outlets (report, figures), so one pass builds all buckets.
     _outlet_index: dict[str, list[UniqueAccess]] | None = field(
@@ -177,5 +185,6 @@ def analyze(
         unlocated_accesses=len(unique_accesses) - len(located),
         countries={a.country for a in located if a.country},
         scan_period=scan_period,
+        persona_report=persona_ground_truth_report(dataset, classified),
     )
     return results

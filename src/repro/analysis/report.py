@@ -11,7 +11,10 @@ from dataclasses import dataclass, field
 
 from repro.analysis.cvm import CvmResult, cramer_von_mises_2samp
 from repro.analysis.dataset import AnalysisResults
-from repro.analysis.taxonomy import TaxonomyLabel
+from repro.analysis.taxonomy import (
+    PERSONA_OTHER_BUCKET as _OTHER_LABEL,
+    TaxonomyLabel,
+)
 from repro.errors import AnalysisError
 
 
@@ -179,4 +182,37 @@ def format_taxonomy_summary(results: AnalysisResults) -> str:
         lines.append(
             f"  {label.value:<12} {results.label_totals[label]:>5}"
         )
+    return "\n".join(lines)
+
+
+def format_persona_report(results: AnalysisResults) -> str:
+    """Render the ground-truth persona report as text.
+
+    Shows which personas actually drove the observed accesses and how
+    well the paper's time-correlation classifier recovered each label —
+    a measurement the original deployment could not make.
+    """
+    report = results.persona_report
+    lines = [
+        f"ground truth: {report.matched_accesses} of "
+        f"{report.total_accesses} unique accesses matched to personas "
+        f"({report.other_accesses} in the '{_OTHER_LABEL}' bucket, "
+        f"{report.unmatched_accesses} unmatched)"
+    ]
+    if report.persona_access_counts:
+        width = max(len(name) for name in report.persona_access_counts)
+        for name, count in sorted(
+            report.persona_access_counts.items(),
+            key=lambda kv: (-kv[1], kv[0]),
+        ):
+            lines.append(f"  {name:<{width}} {count:>5}")
+    if report.matched_accesses > report.other_accesses:
+        lines.append("classifier vs ground truth (per label):")
+        for value, metric in sorted(report.label_metrics.items()):
+            lines.append(
+                f"  {value:<12} precision={metric.precision:.2f} "
+                f"recall={metric.recall:.2f} "
+                f"(tp={metric.true_positives} fp={metric.false_positives} "
+                f"fn={metric.false_negatives})"
+            )
     return "\n".join(lines)

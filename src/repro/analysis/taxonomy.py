@@ -169,6 +169,110 @@ def classify_accesses(
     return classified
 
 
+#: Bucket for ground-truth personas the signature table does not know:
+#: unknown personas are *reported*, never a crash.
+PERSONA_OTHER_BUCKET = "other"
+
+
+@dataclass
+class PersonaLabelMetrics:
+    """Classifier agreement with ground truth for one taxonomy label."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+
+@dataclass
+class PersonaGroundTruthReport:
+    """How the time-correlation classifier scores against ground truth.
+
+    The paper could only eyeball its classifier; the simulation knows
+    which persona actually drove every access, so precision/recall
+    become measurable.  Accesses whose ground-truth combo contains a
+    persona the signature table does not know (scripted case studies,
+    unregistered plugins) are counted in the ``other`` bucket and
+    excluded from the per-label metrics.
+    """
+
+    total_accesses: int = 0
+    matched_accesses: int = 0
+    unmatched_accesses: int = 0
+    #: ground-truth combo label ("a+b") -> unique accesses, with every
+    #: unknown-persona combo collapsed into ``PERSONA_OTHER_BUCKET``.
+    persona_access_counts: dict[str, int] = field(default_factory=dict)
+    other_accesses: int = 0
+    #: TaxonomyLabel value -> agreement metrics.
+    label_metrics: dict[str, PersonaLabelMetrics] = field(
+        default_factory=dict
+    )
+
+
+def persona_signature_table() -> dict[str, frozenset[str]]:
+    """persona name -> the labels the classifier should emit for it.
+
+    Built from the live persona registry, so personas registered by
+    plugins (or test files) participate without any analysis edits.
+    """
+    from repro.attackers.personas import personas
+
+    return personas.signature_table()
+
+
+def persona_ground_truth_report(
+    dataset: ObservedDataset,
+    classified: list[ClassifiedAccess],
+) -> PersonaGroundTruthReport:
+    """Score the classifier's labels against per-access ground truth.
+
+    Datasets without ground truth (legacy captures, external imports)
+    produce a report with every access unmatched.
+    """
+    truth = getattr(dataset, "ground_truth_personas", None) or {}
+    signatures = persona_signature_table()
+    report = PersonaGroundTruthReport(total_accesses=len(classified))
+    metrics = {label.value: PersonaLabelMetrics() for label in TaxonomyLabel}
+    for item in classified:
+        key = (item.access.account_address, item.access.cookie_id)
+        names = truth.get(key)
+        if names is None:
+            report.unmatched_accesses += 1
+            continue
+        report.matched_accesses += 1
+        member_signatures = [signatures.get(name) for name in names]
+        if any(signature is None for signature in member_signatures):
+            report.other_accesses += 1
+            combo_label = PERSONA_OTHER_BUCKET
+        else:
+            combo_label = "+".join(names)
+        report.persona_access_counts[combo_label] = (
+            report.persona_access_counts.get(combo_label, 0) + 1
+        )
+        if combo_label == PERSONA_OTHER_BUCKET:
+            continue
+        expected = frozenset().union(*member_signatures)
+        predicted = {label.value for label in item.labels}
+        for value, metric in metrics.items():
+            if value in predicted and value in expected:
+                metric.true_positives += 1
+            elif value in predicted:
+                metric.false_positives += 1
+            elif value in expected:
+                metric.false_negatives += 1
+    report.label_metrics = metrics
+    return report
+
+
 def label_counts(
     classified: list[ClassifiedAccess],
 ) -> dict[TaxonomyLabel, int]:

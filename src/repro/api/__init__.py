@@ -13,6 +13,12 @@ Three layers on top of :class:`repro.core.experiment.Experiment`:
   multi-scenario sweeps on a process pool, returning per-run
   :class:`RunResult` envelopes plus cross-seed aggregates.
 
+Attacker personas (:mod:`repro.attackers.personas`) are re-exported
+here because they are scenario inputs: ``personas`` is the persona
+registry, :class:`PersonaMix` the per-outlet weighted table a
+:class:`Scenario` carries, and :func:`register_persona` the decorator
+that plugs new attacker archetypes in without touching core modules.
+
 Quickstart::
 
     from repro.api import BatchRunner, scenarios
@@ -40,12 +46,22 @@ from repro.api.scenario import (
     Scenario,
     ScenarioBuilder,
 )
+from repro.attackers.personas import (
+    Persona,
+    PersonaMix,
+    PersonaRegistry,
+    personas,
+    register_persona,
+)
 
 __all__ = [
     "AggregateStats",
     "BatchResult",
     "BatchRunner",
     "MetricSummary",
+    "Persona",
+    "PersonaMix",
+    "PersonaRegistry",
     "RegistryEntry",
     "RunResult",
     "SCENARIO_FORMAT_VERSION",
@@ -54,6 +70,8 @@ __all__ = [
     "ScenarioRegistry",
     "aggregate_runs",
     "cvm_panel_p_values",
+    "personas",
+    "register_persona",
     "run_scenario",
     "scenarios",
 ]

@@ -151,6 +151,25 @@ class RunResult:
                 "label_totals": dict(stats.label_totals),
             },
             "cvm_tests": self.significance(),
+            "persona_ground_truth": {
+                "matched_accesses": self.analysis.persona_report.matched_accesses,
+                "other_accesses": self.analysis.persona_report.other_accesses,
+                "persona_access_counts": dict(
+                    self.analysis.persona_report.persona_access_counts
+                ),
+                "label_metrics": {
+                    label: {
+                        "precision": metric.precision,
+                        "recall": metric.recall,
+                        "tp": metric.true_positives,
+                        "fp": metric.false_positives,
+                        "fn": metric.false_negatives,
+                    }
+                    for label, metric in sorted(
+                        self.analysis.persona_report.label_metrics.items()
+                    )
+                },
+            },
         }
 
     # ------------------------------------------------------------------

@@ -22,6 +22,9 @@ Built-in names:
 ``no_case_studies``      fast setup without the Section 4.7 incidents
 ``scaled``               plan resized to ``n_accounts`` (default 200)
 ``high_frequency_monitoring``  10-min scans + 30-min scrapes
+``credential_stuffing``  paste leaks hit by stuffing-bot waves
+``locale_babel``         Email-Babel-style language-gated engagement
+``persona_zoo``          every built-in persona active at once
 ======================== ==============================================
 """
 
@@ -31,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.api.scenario import Scenario
+from repro.attackers.personas import PersonaMix
 from repro.core.experiment import ExperimentConfig
 from repro.core.groups import OutletKind, paper_leak_plan
 from repro.errors import ConfigurationError
@@ -248,6 +252,126 @@ def _scaled(n_accounts: int = 200) -> Scenario:
         .described(description)
         .fast_cadence()
         .scaled_to(n_accounts)
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "credential_stuffing",
+    summary="paste leaks hammered by credential-stuffing bot waves",
+)
+def _credential_stuffing() -> Scenario:
+    description = (
+        "fast deployment where automated credential-stuffing bots "
+        "dominate paste-site traffic (MIGP-style login-only probes)"
+    )
+    return (
+        _base("credential_stuffing", description)
+        .to_builder()
+        .named("credential_stuffing")
+        .described(description)
+        .fast_cadence()
+        .with_personas(
+            PersonaMix.from_table(
+                {
+                    OutletKind.PASTE: (
+                        (("stuffing_bot",), 0.55),
+                        (("curious",), 0.30),
+                        (("gold_digger",), 0.15),
+                    ),
+                    OutletKind.FORUM: (
+                        (("curious",), 0.70),
+                        (("gold_digger",), 0.30),
+                    ),
+                    OutletKind.MALWARE: ((("curious",), 1.0),),
+                }
+            )
+        )
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "locale_babel",
+    summary="Email-Babel-style language-gated engagement study",
+)
+def _locale_babel() -> Scenario:
+    description = (
+        "fast deployment dominated by locale-sensitive readers whose "
+        "engagement depends on the advertised owner locale (Email Babel)"
+    )
+    return (
+        _base("locale_babel", description)
+        .to_builder()
+        .named("locale_babel")
+        .described(description)
+        .fast_cadence()
+        .with_personas(
+            PersonaMix.from_table(
+                {
+                    OutletKind.PASTE: (
+                        (("locale_sensitive",), 0.50),
+                        (("curious",), 0.30),
+                        (("gold_digger",), 0.20),
+                    ),
+                    OutletKind.FORUM: (
+                        (("locale_sensitive",), 0.50),
+                        (("curious",), 0.30),
+                        (("gold_digger",), 0.20),
+                    ),
+                    OutletKind.MALWARE: ((("curious",), 1.0),),
+                }
+            )
+        )
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "persona_zoo",
+    summary="every built-in persona active across all outlets",
+)
+def _persona_zoo() -> Scenario:
+    description = (
+        "fast deployment exercising all eight built-in personas at "
+        "once, including combos, across every outlet"
+    )
+    return (
+        _base("persona_zoo", description)
+        .to_builder()
+        .named("persona_zoo")
+        .described(description)
+        .fast_cadence()
+        .with_personas(
+            PersonaMix.from_table(
+                {
+                    OutletKind.PASTE: (
+                        (("curious",), 0.25),
+                        (("gold_digger",), 0.15),
+                        (("stuffing_bot",), 0.15),
+                        (("lurker",), 0.15),
+                        (("data_exfiltrator",), 0.10),
+                        (("locale_sensitive",), 0.10),
+                        (("hijacker",), 0.05),
+                        (("gold_digger", "hijacker"), 0.03),
+                        (("hijacker", "spammer"), 0.02),
+                    ),
+                    OutletKind.FORUM: (
+                        (("curious",), 0.30),
+                        (("gold_digger",), 0.20),
+                        (("locale_sensitive",), 0.20),
+                        (("lurker",), 0.15),
+                        (("data_exfiltrator",), 0.10),
+                        (("hijacker",), 0.05),
+                    ),
+                    OutletKind.MALWARE: (
+                        (("curious",), 0.60),
+                        (("stuffing_bot",), 0.25),
+                        (("lurker",), 0.15),
+                    ),
+                }
+            )
+        )
         .build()
     )
 

@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.attackers.personas import PersonaMix
 from repro.attackers.population import PopulationConfig
 from repro.core.experiment import Experiment, ExperimentConfig
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
@@ -81,12 +82,15 @@ class Scenario:
         config: the full experiment configuration, including the
             attacker-population calibration.
         leak_plan: which accounts are leaked on which outlets.
+        persona_mix: which attacker personas each outlet attracts
+            (defaults to the paper's calibrated mix).
         description: one-line human summary shown by ``repro scenarios``.
     """
 
     name: str
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     leak_plan: LeakPlan = field(default_factory=paper_leak_plan)
+    persona_mix: PersonaMix = field(default_factory=PersonaMix.paper)
     description: str = ""
 
     # ------------------------------------------------------------------
@@ -122,6 +126,10 @@ class Scenario:
             f"scrape={self.config.scrape_period / 3600.0:g}h "
             f"case_studies={'on' if self.config.enable_case_studies else 'off'}"
         )
+        if self.persona_mix == PersonaMix.paper():
+            lines.append("  personas=paper mix")
+        else:
+            lines.append(f"  personas={self.persona_mix.summary()}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -176,6 +184,7 @@ class Scenario:
             "description": self.description,
             "config": _config_to_dict(self.config),
             "leak_plan": self.leak_plan.to_dict(),
+            "persona_mix": self.persona_mix.to_dict(),
         }
 
     @classmethod
@@ -193,10 +202,17 @@ class Scenario:
             raise ConfigurationError(
                 f"scenario payload missing {exc}"
             ) from exc
+        mix_payload = data.get("persona_mix")
+        persona_mix = (
+            PersonaMix.from_dict(mix_payload)
+            if mix_payload is not None
+            else PersonaMix.paper()
+        )
         return cls(
             name=name,
             config=config,
             leak_plan=leak_plan,
+            persona_mix=persona_mix,
             description=data.get("description", ""),
         )
 
@@ -233,6 +249,7 @@ class ScenarioBuilder:
         self._description = base.description
         self._config = base.config
         self._leak_plan = base.leak_plan
+        self._persona_mix = base.persona_mix
         # A base whose horizon is already decoupled from its duration
         # was built that way on purpose; keep round-trips faithful.
         self._horizon_set_explicitly = (
@@ -307,6 +324,43 @@ class ScenarioBuilder:
             self._horizon_set_explicitly = True
         return self.with_config(population=population)
 
+    # -- attacker personas ---------------------------------------------
+    def with_personas(self, mix: "PersonaMix | dict") -> "ScenarioBuilder":
+        """Replace the attacker persona mix.
+
+        Accepts a :class:`~repro.attackers.personas.PersonaMix` or its
+        ``to_dict`` payload; persona names are validated against the
+        registry either way, so unknown names fail loudly here rather
+        than at run time.
+        """
+        if isinstance(mix, dict):
+            mix = PersonaMix.from_dict(mix)
+        elif not isinstance(mix, PersonaMix):
+            raise ConfigurationError(
+                "with_personas expects a PersonaMix or its dict payload, "
+                f"got {type(mix).__name__}"
+            )
+        self._persona_mix = mix.validate()
+        return self
+
+    def with_outlet_personas(
+        self, outlet, rows
+    ) -> "ScenarioBuilder":
+        """Replace one outlet's persona table, keeping the others.
+
+        ``rows`` is a sequence of ``(persona_or_combo, weight)`` pairs
+        whose weights sum to 1.
+        """
+        self._persona_mix = self._persona_mix.with_outlet(
+            outlet, rows
+        ).validate()
+        return self
+
+    def only_persona(self, name: str) -> "ScenarioBuilder":
+        """Every visitor on every outlet becomes ``name``."""
+        self._persona_mix = PersonaMix.single(name).validate()
+        return self
+
     # -- leak plan overrides -------------------------------------------
     def with_leak_plan(self, plan: LeakPlan) -> "ScenarioBuilder":
         self._leak_plan = plan
@@ -349,5 +403,6 @@ class ScenarioBuilder:
             name=self._name,
             config=config,
             leak_plan=self._leak_plan,
+            persona_mix=self._persona_mix,
             description=self._description,
         )

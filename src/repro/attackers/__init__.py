@@ -16,6 +16,17 @@ from repro.attackers.casestudies import (
     BlackmailCampaign,
     CardingForumRegistration,
 )
+from repro.attackers.personas import (
+    BehaviorPolicy,
+    MixEntry,
+    Persona,
+    PersonaMix,
+    PersonaRegistry,
+    ProfileOverrides,
+    VisitContext,
+    personas,
+    register_persona,
+)
 from repro.attackers.population import AttackerPopulation, PopulationConfig
 from repro.attackers.sophistication import (
     AttackerProfile,
@@ -27,11 +38,20 @@ __all__ = [
     "AttackerAgent",
     "AttackerPopulation",
     "AttackerProfile",
+    "BehaviorPolicy",
     "BlackmailCampaign",
     "CardingForumRegistration",
+    "MixEntry",
+    "Persona",
+    "PersonaMix",
+    "PersonaRegistry",
     "PopulationConfig",
+    "ProfileOverrides",
     "SENSITIVE_SEARCH_TERMS",
     "SophisticationLevel",
     "TaxonomyClass",
+    "VisitContext",
+    "personas",
+    "register_persona",
     "sample_arrival_delay",
 ]

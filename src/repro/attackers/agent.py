@@ -1,21 +1,33 @@
-"""The attacker agent: schedules visits and executes behaviour.
+"""The attacker agent: schedules visits and steps behaviour policies.
 
-One :class:`AttackerAgent` owns one :class:`AttackerProfile` and one
-target account.  It schedules its visits on the simulator; each visit
-logs in through the public service API (leaving an activity-page row),
-performs class-appropriate actions, and — for visits longer than a few
+One :class:`AttackerAgent` owns one :class:`AttackerProfile`, one target
+account and one chain of :class:`~repro.attackers.personas.
+BehaviorPolicy` objects.  It schedules its visits on the simulator; each
+visit logs in through the public service API (leaving an activity-page
+row), steps every policy in order, and — for visits longer than a few
 minutes — re-authenticates near the end, which is what makes access
 durations observable on the activity page, as cookies are observed at
 each login.
+
+The agent knows nothing about taxonomy classes any more: what happens
+inside the account is entirely the policies' business.  Callers that
+still construct agents from bare :class:`~repro.attackers.
+sophistication.TaxonomyClass` profiles get the paper-equivalent chain
+via :func:`~repro.attackers.personas.default_policies_for`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.attackers import actions
-from repro.attackers.sophistication import AttackerProfile, TaxonomyClass
+from repro.attackers.personas import (
+    BehaviorPolicy,
+    VisitContext,
+    default_policies_for,
+)
+from repro.attackers.sophistication import AttackerProfile
 from repro.errors import ConfigurationError, WebmailError
 from repro.netsim.anonymity import AnonymityNetwork, OriginKind
 from repro.netsim.cities import city_by_name
@@ -59,6 +71,7 @@ class AttackerAgent:
         rng: random.Random,
         blacklist_registrar=None,
         advertised_midpoint: tuple[float, float] | None = None,
+        policies: Sequence[BehaviorPolicy] | None = None,
     ) -> None:
         self.profile = profile
         self.account_address = account_address
@@ -74,6 +87,22 @@ class AttackerAgent:
         self._device_id = f"dev-{profile.attacker_id}"
         self._user_agent = self._pick_user_agent(ua_factory)
         self._source_ip: IPAddress | None = None
+        if policies is None:
+            policies = default_policies_for(profile)
+        self._policies: list[BehaviorPolicy] = list(policies)
+
+    @property
+    def device_id(self) -> str:
+        """The stable device identity cookies are minted against."""
+        return self._device_id
+
+    @property
+    def policies(self) -> tuple[BehaviorPolicy, ...]:
+        return tuple(self._policies)
+
+    def adopt_password(self, new_password: str) -> None:
+        """Switch the credential used for later visits (hijack move)."""
+        self._password = new_password
 
     # ------------------------------------------------------------------
     # connection identity
@@ -156,12 +185,28 @@ class AttackerAgent:
             return
         profile = self.profile
         visit_length = minutes(self._rng.uniform(1.0, 35.0))
-        if profile.is_curious_only:
-            actions.act_check_inbox(self._service, session, now)
-        else:
-            self._act(session, now, is_first=is_first)
+        context = VisitContext(
+            agent=self,
+            service=self._service,
+            session=session,
+            rng=self._rng,
+            now=now,
+            is_first=is_first,
+        )
+        try:
+            for policy in self._policies:
+                policy.on_visit(context)
+        except WebmailError:
+            # The account was suspended mid-visit; the session died.
+            # Skip the remaining policy steps but keep the re-login
+            # schedule: the visit still happened.
+            pass
         # Long visits re-authenticate near the end; the activity page then
         # shows the same cookie again, making the duration measurable.
+        # Fully machine-paced agents (credential-stuffing probes) leave
+        # after one login and never produce an observable duration.
+        if all(policy.machine_paced for policy in self._policies):
+            return
         if visit_length > minutes(5):
             end_time = now + visit_length
             self._sim.schedule_at(
@@ -172,42 +217,3 @@ class AttackerAgent:
 
     def _relogin(self, at_time: float) -> None:
         self._login(at_time)
-
-    def _act(self, session: Session, now: float, *, is_first: bool) -> None:
-        profile = self.profile
-        rng = self._rng
-        try:
-            if profile.has(TaxonomyClass.GOLD_DIGGER):
-                queries, reads = actions.act_gold_dig(
-                    self._service, session, rng, now
-                )
-                self.outcome.searches.extend(queries)
-                self.outcome.emails_read += reads
-            if profile.has(TaxonomyClass.HIJACKER) and is_first:
-                if rng.random() < 0.5:
-                    self.outcome.emails_read += actions.act_read_recent(
-                        self._service, session, rng, now
-                    )
-                new_password = actions.act_hijack(
-                    self._service, session, rng, now
-                )
-                # The hijacker knows the new password; later visits work.
-                self._password = new_password
-                self.outcome.hijacked = True
-                self.outcome.new_password = new_password
-            if profile.has(TaxonomyClass.SPAMMER) and is_first:
-                # Bursts stay under the provider's per-hour threshold most
-                # of the time; greedier runs risk mid-burst suspension.
-                count = rng.randint(60, 110)
-                burst = minutes(rng.uniform(120, 240))
-                self.outcome.emails_sent += actions.act_send_spam(
-                    self._service,
-                    session,
-                    rng,
-                    now,
-                    email_count=count,
-                    burst_seconds=burst,
-                )
-        except WebmailError:
-            # The account was suspended mid-visit; the session died.
-            return

@@ -1,11 +1,14 @@
 """Attacker population generation: one agent per interested visitor.
 
 Consumes the leak ledger and produces :class:`AttackerAgent` schedules.
-All calibration constants live in :class:`PopulationConfig` and the
-module-level mix tables; their default values target the paper's
-aggregate statistics (327 unique accesses, taxonomy split, outlet timing,
-anonymisation shares, Figure 5 medians).  Every draw comes from a derived
-RNG stream, so populations are fully reproducible.
+All calibration constants live in :class:`PopulationConfig`; *who* shows
+up is governed by a :class:`~repro.attackers.personas.PersonaMix` drawn
+against the persona registry, so new workloads plug in without editing
+this module.  The default mix (:meth:`PersonaMix.paper`) reproduces the
+paper's aggregate statistics (327 unique accesses, taxonomy split,
+outlet timing, anonymisation shares, Figure 5 medians) bit-for-bit.
+Every draw comes from a derived RNG stream, so populations are fully
+reproducible.
 
 Origin mixes are expressed as weighted entries of either a single hub
 city (``"city:Name"``) or a uniform draw over a region bucket
@@ -27,6 +30,12 @@ from repro.attackers.arrival import (
     sample_burst_arrival,
     sample_return_gaps,
 )
+from repro.attackers.personas import (
+    Persona,
+    PersonaMix,
+    PersonaRegistry,
+    personas as default_persona_registry,
+)
 from repro.attackers.sophistication import (
     AttackerProfile,
     SophisticationLevel,
@@ -44,37 +53,6 @@ from repro.netsim.useragents import UserAgentFactory
 from repro.sim.clock import days
 from repro.sim.engine import Simulator
 from repro.webmail.service import WebmailService
-
-_CURIOUS = frozenset({TaxonomyClass.CURIOUS})
-_GOLD = frozenset({TaxonomyClass.GOLD_DIGGER})
-_HIJACK = frozenset({TaxonomyClass.HIJACKER})
-_GOLD_HIJACK = frozenset({TaxonomyClass.GOLD_DIGGER, TaxonomyClass.HIJACKER})
-_HIJACK_SPAM = frozenset({TaxonomyClass.HIJACKER, TaxonomyClass.SPAMMER})
-_GOLD_SPAM = frozenset({TaxonomyClass.GOLD_DIGGER, TaxonomyClass.SPAMMER})
-
-#: Class-set mixes per outlet, calibrated to Figure 2 and Section 4.2:
-#: paste ~20% hijackers; forums the highest gold-digger share (~30%);
-#: malware never hijacks or spams (bursts add its gold diggers).
-_CLASS_MIX: dict[OutletKind, tuple[tuple[frozenset, float], ...]] = {
-    OutletKind.PASTE: (
-        (_CURIOUS, 0.690),
-        (_GOLD, 0.150),
-        (_HIJACK, 0.070),
-        (_GOLD_HIJACK, 0.040),
-        (_HIJACK_SPAM, 0.025),
-        (_GOLD_SPAM, 0.025),
-    ),
-    OutletKind.FORUM: (
-        (_CURIOUS, 0.640),
-        (_GOLD, 0.260),
-        (_GOLD_HIJACK, 0.040),
-        (_HIJACK, 0.050),
-        (_HIJACK_SPAM, 0.010),
-    ),
-    OutletKind.MALWARE: (
-        (_CURIOUS, 1.0),
-    ),
-}
 
 #: Mix entries: ("city:<Name>", weight) draws that hub city;
 #: ("region:<bucket>", weight) draws uniformly inside the bucket.
@@ -127,6 +105,11 @@ _MALLEABLE_US: OriginMix = (
     ("city:New York", 0.14), ("city:Dallas", 0.08), ("city:Boston", 0.07),
     ("city:Denver", 0.06), ("city:Miami", 0.06),
 )
+
+#: Malware resale/aggregation bursts are value-assessment events: the
+#: burst visitor is always the gold-digger persona, regardless of the
+#: malware check mix (Figure 3's ~30/~100-day inflection points).
+_MALWARE_BURST_COMBO: tuple[str, ...] = ("gold_digger",)
 
 
 @dataclass(frozen=True)
@@ -188,7 +171,13 @@ class PopulationConfig:
 
 @dataclass
 class AttackerPopulation:
-    """Builds and schedules every attacker agent for a set of leaks."""
+    """Builds and schedules every attacker agent for a set of leaks.
+
+    ``persona_mix`` decides who visits each outlet; names resolve once
+    against ``registry`` (the process-wide persona registry by default),
+    so unknown personas fail fast with a
+    :class:`~repro.errors.ConfigurationError` listing the known names.
+    """
 
     sim: Simulator
     service: WebmailService
@@ -196,6 +185,8 @@ class AttackerPopulation:
     anonymity: AnonymityNetwork
     rng: random.Random
     config: PopulationConfig = field(default_factory=PopulationConfig)
+    persona_mix: PersonaMix | None = None
+    registry: PersonaRegistry | None = None
     blacklist_registrar: Callable | None = None
     agents: list[AttackerAgent] = field(default_factory=list)
     _agent_counter: int = 0
@@ -203,6 +194,23 @@ class AttackerPopulation:
     def __post_init__(self) -> None:
         self._ua_factory = UserAgentFactory(self.rng)
         self._malware_direct_used = False
+        if self.registry is None:
+            self.registry = default_persona_registry
+        if self.persona_mix is None:
+            self.persona_mix = PersonaMix.paper()
+        # Resolve every persona name once: unknown names fail here with
+        # the known-name listing, and draws become one dict lookup.
+        self._members_by_combo: dict[tuple[str, ...], tuple[Persona, ...]] = {
+            entry.personas: tuple(
+                self.registry.get(name) for name in entry.personas
+            )
+            for outlet_value in self.persona_mix.outlet_values()
+            for entry in self.persona_mix.entries_for(outlet_value)
+        }
+        self._burst_combo = (
+            _MALWARE_BURST_COMBO,
+            tuple(self.registry.get(n) for n in _MALWARE_BURST_COMBO),
+        )
 
     # ------------------------------------------------------------------
     # public entry points
@@ -216,6 +224,22 @@ class AttackerPopulation:
         if event.outlet is OutletKind.FORUM:
             return self._spawn_forum(event, leaked_password)
         return self._spawn_malware(event, leaked_password)
+
+    # ------------------------------------------------------------------
+    # persona draws
+    # ------------------------------------------------------------------
+    def _draw_combo(
+        self, outlet: OutletKind
+    ) -> tuple[tuple[str, ...], tuple[Persona, ...]]:
+        """One persona combination for a visitor on ``outlet``.
+
+        Draw semantics live in :meth:`PersonaMix.draw` (single-entry
+        outlets touch no RNG, multi-entry outlets consume exactly one
+        uniform draw); this just resolves the combo to the personas
+        compiled at build time.
+        """
+        names = self.persona_mix.draw(outlet, self.rng)
+        return names, self._members_by_combo[names]
 
     # ------------------------------------------------------------------
     # origin sampling
@@ -248,12 +272,14 @@ class AttackerPopulation:
                 dormancy_days=profile.dormancy_days,
                 horizon_days=self.config.horizon_days,
             )
+            names, members = self._draw_combo(OutletKind.PASTE)
             agents.append(
                 self._build_agent(
                     event,
                     password,
                     outlet=OutletKind.PASTE,
-                    classes=self._draw_classes(OutletKind.PASTE),
+                    names=names,
+                    members=members,
                     arrival=arrival,
                     malleable_prob=self.config.paste_malleable_prob,
                     anonymise_prob=self.config.paste_anonymise_prob,
@@ -279,12 +305,14 @@ class AttackerPopulation:
                 sigma=self.config.forum_sigma,
                 horizon_days=self.config.horizon_days,
             )
+            names, members = self._draw_combo(OutletKind.FORUM)
             agents.append(
                 self._build_agent(
                     event,
                     password,
                     outlet=OutletKind.FORUM,
-                    classes=self._draw_classes(OutletKind.FORUM),
+                    names=names,
+                    members=members,
                     arrival=arrival,
                     malleable_prob=self.config.forum_malleable_prob,
                     anonymise_prob=self.config.forum_anonymise_prob,
@@ -319,8 +347,11 @@ class AttackerPopulation:
         checks = 1 + _poisson(self.rng, cfg.malware_checks_extra_mean)
         for _ in range(checks):
             arrival = event.leak_time + self._sample_malware_check_delay()
+            names, members = self._draw_combo(OutletKind.MALWARE)
             agents.append(
-                self._build_malware_agent(event, password, _CURIOUS, arrival)
+                self._build_malware_agent(
+                    event, password, names, members, arrival
+                )
             )
         for burst_day, prob in (
             (cfg.malware_burst1_day, cfg.malware_burst1_prob),
@@ -332,8 +363,11 @@ class AttackerPopulation:
                     burst_center_days=burst_day,
                     horizon_days=cfg.horizon_days,
                 )
+                names, members = self._burst_combo
                 agents.append(
-                    self._build_malware_agent(event, password, _GOLD, arrival)
+                    self._build_malware_agent(
+                        event, password, names, members, arrival
+                    )
                 )
         return agents
 
@@ -341,16 +375,20 @@ class AttackerPopulation:
         self,
         event: LeakEvent,
         password: str,
-        classes: frozenset,
+        names: tuple[str, ...],
+        members: tuple[Persona, ...],
         arrival: float,
     ) -> AttackerAgent:
         # All malware-outlet accesses but one arrive via Tor with an empty
         # user agent (Section 4.5: 57 accesses, all Tor except one).
+        classes = frozenset().union(*(p.taxonomy for p in members))
         direct = not self._malware_direct_used and self.rng.random() < 0.02
         if direct:
             self._malware_direct_used = True
         origin = OriginKind.DIRECT if direct else OriginKind.TOR
-        visits, span = self._draw_visits(OutletKind.MALWARE, classes)
+        visits, span = self._persona_visits(
+            members, OutletKind.MALWARE, classes
+        )
         profile = AttackerProfile(
             attacker_id=self._next_id(),
             outlet=OutletKind.MALWARE,
@@ -364,8 +402,9 @@ class AttackerPopulation:
             infected_host=False,
             visits=visits,
             visit_span_days=span,
+            personas=names,
         )
-        return self._schedule_agent(profile, event, password, arrival)
+        return self._schedule_agent(profile, members, event, password, arrival)
 
     # ------------------------------------------------------------------
     # shared construction helpers
@@ -374,15 +413,21 @@ class AttackerPopulation:
         self._agent_counter += 1
         return f"atk-{self._agent_counter:05d}"
 
-    def _draw_classes(self, outlet: OutletKind) -> frozenset:
-        mixes = _CLASS_MIX[outlet]
-        roll = self.rng.random()
-        cumulative = 0.0
-        for classes, weight in mixes:
-            cumulative += weight
-            if roll < cumulative:
-                return classes
-        return mixes[-1][0]
+    def _persona_visits(
+        self,
+        members: tuple[Persona, ...],
+        outlet: OutletKind,
+        classes: frozenset,
+    ) -> tuple[int, float]:
+        """The combo's visit plan: first persona override wins, else the
+        outlet default draw."""
+        for persona in members:
+            plan = persona.visit_plan(
+                self.rng, outlet=outlet, config=self.config
+            )
+            if plan is not None:
+                return plan
+        return self._draw_visits(outlet, classes)
 
     def _draw_visits(
         self, outlet: OutletKind, classes: frozenset
@@ -411,46 +456,87 @@ class AttackerPopulation:
         password: str,
         *,
         outlet: OutletKind,
-        classes: frozenset,
+        names: tuple[str, ...],
+        members: tuple[Persona, ...],
         arrival: float,
         malleable_prob: float,
         anonymise_prob: float,
         background: OriginMix,
         level: SophisticationLevel,
     ) -> AttackerAgent:
+        cfg = self.config
+        classes = frozenset().union(*(p.taxonomy for p in members))
         hint = event.content.location_hint
-        if TaxonomyClass.HIJACKER in classes:
-            arrival += days(
-                lognormal_from_median(
-                    self.rng,
-                    self.config.hijacker_extra_delay_median_days,
-                    1.0,
-                )
+        # Persona arrival hooks: a custom process replaces the outlet
+        # default entirely; extra delays shift it (the hijacker's
+        # assessment lag is one such shift, drawn exactly as the seed
+        # drew it).
+        for persona in members:
+            custom = persona.sample_arrival(
+                self.rng, event=event, config=cfg
             )
-        malleable = (
-            hint is not LocationHint.NONE
-            and self.rng.random() < malleable_prob
-        )
-        if malleable:
-            origin = OriginKind.DIRECT
-            mix = _MALLEABLE_UK if hint is LocationHint.UK else _MALLEABLE_US
-        else:
-            if self.rng.random() < anonymise_prob:
-                origin = (
-                    OriginKind.PROXY
-                    if self.rng.random()
-                    < self.config.proxy_share_of_anonymised
-                    else OriginKind.TOR
-                )
-            else:
+            if custom is not None:
+                arrival = event.leak_time + custom
+                break
+        for persona in members:
+            extra = persona.extra_arrival_delay(self.rng, cfg)
+            if extra:
+                arrival += days(extra)
+        overrides = None
+        for persona in members:
+            overrides = persona.profile_overrides(
+                self.rng, outlet=outlet, config=cfg
+            )
+            if overrides is not None:
+                break
+        if overrides is None:
+            malleable = (
+                hint is not LocationHint.NONE
+                and self.rng.random() < malleable_prob
+            )
+            if malleable:
                 origin = OriginKind.DIRECT
-            mix = background
-        origin_city = (
-            self._sample_origin_city(mix)
-            if origin is OriginKind.DIRECT
-            else None
-        )
-        visits, span = self._draw_visits(outlet, classes)
+                mix = _MALLEABLE_UK if hint is LocationHint.UK else _MALLEABLE_US
+            else:
+                if self.rng.random() < anonymise_prob:
+                    origin = (
+                        OriginKind.PROXY
+                        if self.rng.random()
+                        < cfg.proxy_share_of_anonymised
+                        else OriginKind.TOR
+                    )
+                else:
+                    origin = OriginKind.DIRECT
+                mix = background
+            origin_city = (
+                self._sample_origin_city(mix)
+                if origin is OriginKind.DIRECT
+                else None
+            )
+            # Draw order matters for seed equivalence: the seed drew
+            # visits between the city sample and the device traits.
+            visits, span = self._persona_visits(members, outlet, classes)
+            hide_user_agent = False
+            android_device = (
+                origin is OriginKind.DIRECT
+                and self.rng.random() < cfg.android_prob
+            )
+            infected_host = (
+                origin is OriginKind.DIRECT
+                and self.rng.random() < cfg.infected_host_prob
+            )
+        else:
+            origin = overrides.origin
+            malleable = overrides.location_malleable
+            origin_city = overrides.origin_city
+            if origin is OriginKind.DIRECT and origin_city is None:
+                origin_city = self._sample_origin_city(background)
+            visits, span = self._persona_visits(members, outlet, classes)
+            hide_user_agent = overrides.hide_user_agent
+            android_device = overrides.android_device
+            infected_host = overrides.infected_host
+            if overrides.level is not None:
+                level = overrides.level
         profile = AttackerProfile(
             attacker_id=self._next_id(),
             outlet=outlet,
@@ -458,28 +544,29 @@ class AttackerPopulation:
             level=level,
             origin=origin,
             origin_city=origin_city,
-            hide_user_agent=False,
+            hide_user_agent=hide_user_agent,
             location_malleable=malleable,
-            android_device=(
-                origin is OriginKind.DIRECT
-                and self.rng.random() < self.config.android_prob
-            ),
-            infected_host=(
-                origin is OriginKind.DIRECT
-                and self.rng.random() < self.config.infected_host_prob
-            ),
+            android_device=android_device,
+            infected_host=infected_host,
             visits=visits,
             visit_span_days=span,
+            personas=names,
         )
-        return self._schedule_agent(profile, event, password, arrival)
+        return self._schedule_agent(profile, members, event, password, arrival)
 
     def _schedule_agent(
         self,
         profile: AttackerProfile,
+        members: tuple[Persona, ...],
         event: LeakEvent,
         password: str,
         arrival: float,
     ) -> AttackerAgent:
+        agent_rng = random.Random(self.rng.getrandbits(64))
+        policies = [
+            persona.build_policy(self.rng, event=event, config=self.config)
+            for persona in members
+        ]
         agent = AttackerAgent(
             profile,
             event.account_address,
@@ -489,8 +576,9 @@ class AttackerPopulation:
             geo=self.geo,
             anonymity=self.anonymity,
             ua_factory=self._ua_factory,
-            rng=random.Random(self.rng.getrandbits(64)),
+            rng=agent_rng,
             blacklist_registrar=self.blacklist_registrar,
+            policies=policies,
         )
         gaps = sample_return_gaps(
             self.rng, profile.visits, profile.visit_span_days

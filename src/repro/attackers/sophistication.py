@@ -61,6 +61,10 @@ class AttackerProfile:
             its IP appears on the Spamhaus-style blacklist.
         visits: number of distinct visits (>= 1).
         visit_span_days: days over which return visits spread.
+        personas: ground-truth persona names of this visitor, in policy
+            order (``()`` for profiles built directly from taxonomy
+            classes; :attr:`persona_names` derives the canonical
+            equivalents then).
     """
 
     attacker_id: str
@@ -75,6 +79,7 @@ class AttackerProfile:
     infected_host: bool
     visits: int
     visit_span_days: float
+    personas: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -92,6 +97,20 @@ class AttackerProfile:
     @property
     def is_curious_only(self) -> bool:
         return self.classes == frozenset({TaxonomyClass.CURIOUS})
+
+    @property
+    def persona_names(self) -> tuple[str, ...]:
+        """Ground-truth persona labels, deriving the paper-canonical
+        names from taxonomy classes when none were recorded."""
+        if self.personas:
+            return self.personas
+        ordered = (
+            TaxonomyClass.CURIOUS,
+            TaxonomyClass.GOLD_DIGGER,
+            TaxonomyClass.HIJACKER,
+            TaxonomyClass.SPAMMER,
+        )
+        return tuple(c.value for c in ordered if c in self.classes)
 
     @property
     def anonymised(self) -> bool:

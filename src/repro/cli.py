@@ -4,11 +4,18 @@ Usage::
 
     python -m repro run --seed 2016 --out results/
     python -m repro run --scenario paste_only --seed 7
+    python -m repro run --persona-mix 'curious=0.5,stuffing_bot=0.5'
     python -m repro tables --seed 2016 --out results/
     python -m repro scenarios                 # list the registry
     python -m repro scenarios paste_only      # describe one entry
+    python -m repro personas                  # list attacker personas
+    python -m repro personas lurker           # describe one persona
     python -m repro sweep --seeds 2016..2018 --jobs 2
     python -m repro compare --scenarios fast,no_case_studies --seeds 1..2
+
+``--persona-mix`` accepts a compact ``name=weight`` spec (combos join
+with ``+``, applied to every outlet of the plan), inline JSON, or a
+path to a ``PersonaMix`` JSON file.
 
 ``python -m repro.cli ...`` keeps working for older scripts.
 """
@@ -22,11 +29,16 @@ import time
 from pathlib import Path
 
 from repro.analysis.export import export_results
-from repro.analysis.report import format_table2, format_taxonomy_summary
+from repro.analysis.report import (
+    format_persona_report,
+    format_table2,
+    format_taxonomy_summary,
+)
 from repro.api.envelope import run_scenario
 from repro.api.registry import scenarios
 from repro.api.runner import BatchRunner
 from repro.api.scenario import Scenario
+from repro.attackers.personas import PersonaMix, personas
 from repro.errors import ConfigurationError, ReproError
 
 
@@ -68,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "--out", default=None, metavar="DIR",
             help="export results.json and figure CSVs into DIR",
         )
+        sub.add_argument(
+            "--persona-mix", default=None, metavar="SPEC",
+            dest="persona_mix",
+            help="override the attacker persona mix: 'name=w,name2+name3=w2' "
+            "(applied to every outlet), inline JSON, or a JSON file path",
+        )
     run_parser.add_argument(
         "--telemetry-out", default=None, metavar="DIR",
         help="export raw telemetry (accesses.jsonl, notifications.jsonl, "
@@ -89,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
     scenarios_parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the scenario's full JSON definition",
+    )
+
+    personas_parser = subparsers.add_parser(
+        "personas", help="list registered attacker personas, or describe one"
+    )
+    personas_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="persona to describe (omit to list all)",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -155,6 +181,62 @@ def _apply_duration(scenario: Scenario, duration_days: float | None) -> Scenario
     )
 
 
+def parse_persona_mix_spec(spec: str, scenario: Scenario) -> PersonaMix:
+    """Parse a ``--persona-mix`` value.
+
+    Three forms: a path to a JSON file, inline JSON (starts with
+    ``{``), or the compact ``name=weight,combo+parts=weight`` table
+    applied to every outlet the scenario's leak plan uses.  Unknown
+    persona names raise :class:`~repro.errors.ConfigurationError`
+    listing the registered ones.
+    """
+    text = spec.strip()
+    if text.startswith("{"):
+        try:
+            return PersonaMix.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"bad persona mix JSON: {exc}"
+            ) from exc
+    if text.endswith(".json") or Path(text).is_file():
+        try:
+            payload = json.loads(Path(text).read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read persona mix file {text!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"bad persona mix JSON in {text!r}: {exc}"
+            ) from exc
+        return PersonaMix.from_dict(payload)
+    rows = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        combo_text, separator, weight_text = part.partition("=")
+        if not separator:
+            raise ConfigurationError(
+                f"bad persona mix entry {part!r}: expected name=weight"
+            )
+        combo = tuple(
+            name.strip() for name in combo_text.split("+") if name.strip()
+        )
+        try:
+            weight = float(weight_text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad persona mix weight in {part!r}: {exc}"
+            ) from exc
+        rows.append((combo, weight))
+    if not rows:
+        raise ConfigurationError(f"empty persona mix spec {spec!r}")
+    return PersonaMix.from_table(
+        {outlet: rows for outlet in scenario.outlets}
+    ).validate()
+
+
 def _resolve_scenario(args) -> Scenario:
     """The scenario a run/tables invocation asks for, seed applied."""
     name = args.scenario
@@ -165,9 +247,13 @@ def _resolve_scenario(args) -> Scenario:
             "--paper-cadence cannot be combined with --scenario "
             "(the scenario already fixes the cadence)"
         )
-    return _apply_duration(
+    scenario = _apply_duration(
         scenarios.get(name).with_seed(args.seed), args.duration_days
     )
+    if getattr(args, "persona_mix", None):
+        mix = parse_persona_mix_spec(args.persona_mix, scenario)
+        scenario = scenario.to_builder().with_personas(mix).build()
+    return scenario
 
 
 def _command_run(args) -> int:
@@ -199,6 +285,8 @@ def _command_run(args) -> int:
     print(f"labels: {stats.label_totals}")
     for name, p_value in run.significance().items():
         print(f"cvm {name}: p={p_value:.7f}")
+    if run.analysis.persona_report.matched_accesses:
+        print(format_persona_report(run.analysis))
     if args.out:
         written = export_results(
             run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
@@ -238,6 +326,16 @@ def _command_scenarios(args) -> int:
         print(scenario.to_json(indent=2))
     else:
         print(scenario.describe())
+    return 0
+
+
+def _command_personas(args) -> int:
+    if args.name is None:
+        width = max(len(name) for name in personas.names())
+        for persona in personas:
+            print(f"{persona.name:<{width}}  {persona.summary}")
+        return 0
+    print(personas.get(args.name).describe())
     return 0
 
 
@@ -316,6 +414,7 @@ _COMMANDS = {
     "run": _command_run,
     "tables": _command_tables,
     "scenarios": _command_scenarios,
+    "personas": _command_personas,
     "sweep": _command_sweep,
     "compare": _command_compare,
 }

@@ -21,6 +21,7 @@ config produce identical datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.attackers.casestudies import (
     BlackmailCampaign,
@@ -53,6 +54,9 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import SeedSequence
 from repro.webmail.appsscript import AppsScriptRuntime
 from repro.webmail.service import WebmailService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.attackers.personas import PersonaMix
 
 
 @dataclass(frozen=True)
@@ -146,9 +150,13 @@ class Experiment:
         self,
         config: ExperimentConfig | None = None,
         leak_plan: LeakPlan | None = None,
+        persona_mix: "PersonaMix | None" = None,
     ) -> None:
         self.config = config or ExperimentConfig()
         self.leak_plan = leak_plan or paper_leak_plan()
+        #: Which attacker personas each outlet attracts; ``None`` keeps
+        #: the population's default (the paper's calibrated mix).
+        self.persona_mix = persona_mix
         self.honey_accounts: list[HoneyAccount] = []
         self.blackmail: BlackmailCampaign | None = None
         self.carding: CardingForumRegistration | None = None
@@ -176,7 +184,11 @@ class Experiment:
         """
         if seed is not None:
             scenario = scenario.with_seed(seed)
-        return cls(config=scenario.config, leak_plan=scenario.leak_plan)
+        return cls(
+            config=scenario.config,
+            leak_plan=scenario.leak_plan,
+            persona_mix=getattr(scenario, "persona_mix", None),
+        )
 
     @property
     def is_built(self) -> bool:
@@ -213,6 +225,7 @@ class Experiment:
             anonymity=self.anonymity,
             rng=seeds.rng("population"),
             config=self.config.population,
+            persona_mix=self.persona_mix,
             blacklist_registrar=self._register_infected_ip,
         )
         self._built = True
@@ -480,7 +493,32 @@ class Experiment:
                 dataset.blocked_accounts.append(
                     (honey.address, honey.account.blocked_at or 0.0)
                 )
+        dataset.ground_truth_personas = self._ground_truth_personas()
         return dataset
+
+    def _ground_truth_personas(self) -> dict[tuple[str, str], tuple[str, ...]]:
+        """Map (account, cookie) -> the personas that actually drove it.
+
+        Researchers own every simulated actor, so per-access ground
+        truth is free: population agents carry their persona combo, and
+        the scripted case studies get ``case_study:*`` labels — which
+        are deliberately *not* registered personas, so the analysis
+        layer's signature table reports them in its ``other`` bucket.
+        """
+        minted = self.service.sessions.minted_cookies()
+        truth: dict[tuple[str, str], tuple[str, ...]] = {}
+        for agent in self.population.agents:
+            cookie = minted.get((agent.device_id, agent.account_address))
+            if cookie is not None:
+                truth[(agent.account_address, str(cookie))] = (
+                    agent.profile.persona_names
+                )
+        for (device_id, address), cookie in minted.items():
+            if device_id == "blackmailer-rig":
+                truth[(address, str(cookie))] = ("case_study:blackmail",)
+            elif device_id.startswith("draft-reader-"):
+                truth[(address, str(cookie))] = ("case_study:draft_reader",)
+        return truth
 
 
 def run_paper_experiment(

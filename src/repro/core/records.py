@@ -125,6 +125,11 @@ class ObservedDataset:
         blocked_accounts: addresses suspended by the provider, with time.
         scrape_failures: (address, time) pairs at which the scraper could
             no longer log in (password changed by a hijacker).
+        ground_truth_personas: researcher-side ground truth mapping
+            ``(account_address, cookie_id)`` to the persona names that
+            actually drove the access.  Simulation metadata — the paper
+            had no such oracle; the analysis layer uses it only to score
+            its own classifier, never to classify.
     """
 
     def __init__(self) -> None:
@@ -137,6 +142,9 @@ class ObservedDataset:
         self.monitor_city: str | None = None
         self.all_email_texts: dict[str, list[str]] = {}
         self.blocked_accounts: list[tuple[str, float]] = []
+        self.ground_truth_personas: dict[
+            tuple[str, str], tuple[str, ...]
+        ] = {}
 
     @classmethod
     def from_streams(
@@ -255,6 +263,12 @@ class ObservedDataset:
             "monitor_city": self.monitor_city,
             "all_email_texts": self.all_email_texts,
             "blocked_accounts": [list(b) for b in self.blocked_accounts],
+            "ground_truth_personas": [
+                [address, cookie, list(names)]
+                for (address, cookie), names in sorted(
+                    self.ground_truth_personas.items()
+                )
+            ],
         }
 
     @classmethod
@@ -290,6 +304,12 @@ class ObservedDataset:
             (address, timestamp)
             for address, timestamp in data["blocked_accounts"]
         ]
+        dataset.ground_truth_personas = {
+            (address, cookie): tuple(names)
+            for address, cookie, names in data.get(
+                "ground_truth_personas", ()
+            )
+        }
         return dataset
 
     def to_legacy(self) -> "LegacyObservedDataset":
@@ -306,6 +326,7 @@ class ObservedDataset:
             },
             blocked_accounts=list(self.blocked_accounts),
             scrape_failures=[tuple(row) for row in self._failure_log],
+            ground_truth_personas=dict(self.ground_truth_personas),
         )
 
     def __repr__(self) -> str:
@@ -334,6 +355,9 @@ class LegacyObservedDataset:
     all_email_texts: dict[str, list[str]] = field(default_factory=dict)
     blocked_accounts: list[tuple[str, float]] = field(default_factory=list)
     scrape_failures: list[tuple[str, float]] = field(default_factory=list)
+    ground_truth_personas: dict[tuple[str, str], tuple[str, ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def account_addresses(self) -> tuple[str, ...]:

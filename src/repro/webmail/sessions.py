@@ -65,6 +65,16 @@ class SessionManager:
             self._device_cookies[key] = Cookie(f"ck-{token}")
         return self._device_cookies[key]
 
+    def minted_cookies(self) -> dict[tuple[str, str], Cookie]:
+        """Every cookie minted so far, keyed by (device, account).
+
+        Read-only snapshot for ground-truth attribution: researchers own
+        the simulation, so mapping device identities back to cookies is
+        legitimate measurement metadata (never visible to the analysis
+        cleaning path, which only sees scraped rows).
+        """
+        return dict(self._device_cookies)
+
     def open_session(
         self, device_id: str, account_address: str, at_time: float
     ) -> Session:

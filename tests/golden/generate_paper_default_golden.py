@@ -1,0 +1,62 @@
+"""Regenerate the ``paper_default`` golden analysis fingerprints.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/golden/generate_paper_default_golden.py
+
+Runs the ``paper_default`` scenario (shortened to the golden window so
+the suite stays fast, but with the paper's 10-minute scan cadence and
+full 100-account plan) across the golden seeds and writes per-field
+sha256 fingerprints of the analysis output to
+``tests/golden/paper_default_analysis.json``.
+
+Regenerate ONLY when an intentional behaviour change to the paper path
+has been accepted; the committed file is the equivalence oracle for the
+attacker-layer refactors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from _golden import analysis_fingerprint  # noqa: E402
+
+from repro.api.registry import scenarios  # noqa: E402
+
+GOLDEN_DURATION_DAYS = 45.0
+GOLDEN_SEEDS = (2016, 7, 99)
+OUT_PATH = Path(__file__).with_name("paper_default_analysis.json")
+
+
+def main() -> int:
+    payload = {
+        "scenario": "paper_default",
+        "duration_days": GOLDEN_DURATION_DAYS,
+        "runs": {},
+    }
+    for seed in GOLDEN_SEEDS:
+        scenario = (
+            scenarios.get("paper_default")
+            .to_builder()
+            .with_duration_days(GOLDEN_DURATION_DAYS)
+            .build()
+        )
+        run = scenario.run(seed=seed)
+        fingerprint = analysis_fingerprint(run.analysis)
+        payload["runs"][str(seed)] = fingerprint
+        print(
+            f"seed {seed}: {fingerprint['headline']['unique_accesses']} "
+            f"unique accesses, labels "
+            f"{fingerprint['headline']['label_totals']}"
+        )
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,397 @@
+"""Tests for the pluggable persona API (repro.attackers.personas)."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import BatchRunner, Scenario, scenarios
+from repro.attackers.personas import (
+    MixEntry,
+    Persona,
+    PersonaMix,
+    PersonaRegistry,
+    ProfileOverrides,
+    BehaviorPolicy,
+    personas,
+    register_persona,
+)
+from repro.attackers.population import AttackerPopulation
+from repro.attackers.sophistication import TaxonomyClass
+from repro.analysis.taxonomy import (
+    PERSONA_OTHER_BUCKET,
+    persona_signature_table,
+)
+from repro.core.groups import OutletKind
+from repro.errors import ConfigurationError
+from repro.netsim.anonymity import AnonymityNetwork, OriginKind
+from repro.sim.engine import Simulator
+from repro.webmail.service import WebmailService
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_personas_registered(self):
+        expected = {
+            "curious", "gold_digger", "spammer", "hijacker",
+            "stuffing_bot", "lurker", "data_exfiltrator",
+            "locale_sensitive",
+        }
+        assert expected <= set(personas.names())
+        assert len(personas) >= 8
+
+    def test_unknown_persona_lists_known_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            personas.get("ghost")
+        message = str(excinfo.value)
+        assert "ghost" in message
+        assert "curious" in message and "lurker" in message
+
+    def test_duplicate_registration_rejected(self):
+        registry = PersonaRegistry()
+
+        @register_persona(registry=registry)
+        class One(Persona):
+            name = "one"
+
+            def build_policy(self, rng, *, event, config):
+                return BehaviorPolicy()
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_persona(One, registry=registry)
+        register_persona(One, registry=registry, replace=True)
+        assert "one" in registry
+
+    def test_nameless_persona_rejected(self):
+        registry = PersonaRegistry()
+        with pytest.raises(ConfigurationError, match="non-empty name"):
+            registry.register(Persona())
+
+    def test_signature_table_covers_builtins(self):
+        table = persona_signature_table()
+        assert table["curious"] == frozenset({"curious"})
+        assert table["data_exfiltrator"] == frozenset(
+            {"gold_digger", "spammer"}
+        )
+        assert "case_study:blackmail" not in table
+
+
+# ----------------------------------------------------------------------
+# PersonaMix semantics and serialization
+# ----------------------------------------------------------------------
+class TestPersonaMix:
+    def test_paper_mix_weights_sum_to_one(self):
+        mix = PersonaMix.paper()
+        assert set(mix.outlet_values()) == {"paste", "forum", "malware"}
+        for outlet in mix.outlet_values():
+            total = sum(e.weight for e in mix.entries_for(outlet))
+            assert total == pytest.approx(1.0)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to"):
+            PersonaMix.from_table({"paste": ((("curious",), 0.5),)})
+
+    def test_unknown_outlet_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown outlet"):
+            PersonaMix.from_table({"darkweb": ((("curious",), 1.0),)})
+
+    def test_entry_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one persona"):
+            MixEntry((), 1.0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            MixEntry(("curious",), 0.0)
+
+    def test_single_entry_outlet_consumes_no_rng(self):
+        mix = PersonaMix.single("curious")
+        rng = random.Random(5)
+        state = rng.getstate()
+        assert mix.draw(OutletKind.PASTE, rng) == ("curious",)
+        assert rng.getstate() == state
+
+    def test_multi_entry_outlet_consumes_one_draw(self):
+        mix = PersonaMix.paper()
+        rng = random.Random(5)
+        mix.draw(OutletKind.PASTE, rng)
+        reference = random.Random(5)
+        reference.random()
+        assert rng.getstate() == reference.getstate()
+
+    def test_draw_unknown_outlet_raises(self):
+        mix = PersonaMix.single("curious", outlets=("paste",))
+        with pytest.raises(ConfigurationError, match="no entries"):
+            mix.draw(OutletKind.FORUM, random.Random(1))
+
+    def test_json_round_trip_lossless(self):
+        mix = scenarios.get("persona_zoo").persona_mix
+        payload = json.loads(json.dumps(mix.to_dict(), sort_keys=True))
+        assert PersonaMix.from_dict(payload) == mix
+
+    def test_from_dict_unknown_persona_lists_known(self):
+        payload = PersonaMix.single("curious").to_dict()
+        payload["outlets"]["paste"][0]["personas"] = ["ghost"]
+        with pytest.raises(ConfigurationError) as excinfo:
+            PersonaMix.from_dict(payload)
+        assert "ghost" in str(excinfo.value)
+        assert "curious" in str(excinfo.value)
+
+    def test_from_dict_malformed_payload(self):
+        with pytest.raises(ConfigurationError, match="bad persona mix"):
+            PersonaMix.from_dict({"nope": 1})
+
+    def test_with_outlet_replaces_one_table(self):
+        mix = PersonaMix.paper().with_outlet(
+            OutletKind.MALWARE, ((("stuffing_bot",), 1.0),)
+        )
+        assert mix.entries_for("malware")[0].personas == ("stuffing_bot",)
+        assert mix.entries_for("paste") == PersonaMix.paper().entries_for(
+            "paste"
+        )
+
+    def test_outlet_order_canonical(self):
+        a = PersonaMix.from_table(
+            {
+                "malware": ((("curious",), 1.0),),
+                "paste": ((("curious",), 1.0),),
+            }
+        )
+        b = PersonaMix.from_table(
+            {
+                "paste": ((("curious",), 1.0),),
+                "malware": ((("curious",), 1.0),),
+            }
+        )
+        assert a == b
+        assert a.outlet_values() == ("paste", "malware")
+
+
+# ----------------------------------------------------------------------
+# Scenario integration
+# ----------------------------------------------------------------------
+class TestScenarioIntegration:
+    def test_scenario_round_trip_with_custom_mix(self):
+        scenario = (
+            scenarios.get("fast")
+            .to_builder()
+            .named("custom-mix")
+            .with_outlet_personas(
+                OutletKind.PASTE,
+                ((("stuffing_bot",), 0.4), (("curious",), 0.6)),
+            )
+            .build()
+        )
+        restored = Scenario.from_json(scenario.to_json(indent=2))
+        assert restored == scenario
+        assert restored.persona_mix.entries_for("paste")[0].personas == (
+            "stuffing_bot",
+        )
+
+    def test_payload_without_mix_defaults_to_paper(self):
+        payload = scenarios.get("fast").to_dict()
+        del payload["persona_mix"]
+        assert Scenario.from_dict(payload).persona_mix == PersonaMix.paper()
+
+    def test_with_personas_rejects_bad_type(self):
+        with pytest.raises(ConfigurationError, match="PersonaMix"):
+            Scenario.builder().with_personas(["curious"])
+
+    def test_with_personas_validates_names(self):
+        payload = PersonaMix.single("curious").to_dict()
+        payload["outlets"]["paste"][0]["personas"] = ["ghost"]
+        with pytest.raises(ConfigurationError, match="unknown persona"):
+            Scenario.builder().with_personas(payload)
+
+    def test_only_persona_builder(self):
+        scenario = (
+            scenarios.get("fast").to_builder().only_persona("lurker").build()
+        )
+        for outlet in scenario.persona_mix.outlet_values():
+            entries = scenario.persona_mix.entries_for(outlet)
+            assert entries == (MixEntry(("lurker",), 1.0),)
+
+
+# ----------------------------------------------------------------------
+# population + registry behaviour
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def population_world(geo):
+    service = WebmailService(geo, random.Random(1))
+    anonymity = AnonymityNetwork(
+        geo, random.Random(2), tor_exit_count=10, proxy_count=5
+    )
+    return service, anonymity
+
+
+class TestPopulationPersonas:
+    def test_unknown_mix_name_fails_at_build(self, population_world):
+        service, anonymity = population_world
+        registry = PersonaRegistry()
+        with pytest.raises(ConfigurationError, match="unknown persona"):
+            AttackerPopulation(
+                sim=Simulator(),
+                service=service,
+                geo=population_world[0]._geo,
+                anonymity=anonymity,
+                rng=random.Random(3),
+                persona_mix=PersonaMix.single("curious"),
+                registry=registry,
+            )
+
+    def test_stuffing_bot_profile_shape(self, geo, population_world):
+        service, anonymity = population_world
+        population = AttackerPopulation(
+            sim=Simulator(),
+            service=service,
+            geo=geo,
+            anonymity=anonymity,
+            rng=random.Random(3),
+            persona_mix=PersonaMix.single("stuffing_bot"),
+        )
+        from test_attackers_population_casestudies import make_event
+
+        agents = []
+        for i in range(20):
+            event = make_event(
+                "pastebin.com", "paste_popular_noloc", rng_seed=i
+            )
+            agents.extend(population.spawn_for_leak(event, "p123456"))
+        assert agents
+        for agent in agents:
+            assert agent.profile.personas == ("stuffing_bot",)
+            assert agent.profile.origin is OriginKind.PROXY
+            assert agent.profile.hide_user_agent
+            assert agent.profile.visits == 1
+
+
+# ----------------------------------------------------------------------
+# end-to-end: a persona defined HERE, with no core edits
+# ----------------------------------------------------------------------
+@register_persona(replace=True)
+class _TestRansomNoterPersona(Persona):
+    """A plugin persona living in this test file only."""
+
+    name = "test_ransom_noter"
+    summary = "drops a ransom draft then leaves (test plugin)"
+    taxonomy = frozenset({TaxonomyClass.GOLD_DIGGER})
+    expected_labels = frozenset({"gold_digger"})
+
+    def build_policy(self, rng, *, event, config):
+        return _RansomNoterPolicy()
+
+    def profile_overrides(self, rng, *, outlet, config):
+        return ProfileOverrides(origin=OriginKind.TOR)
+
+
+class _RansomNoterPolicy(BehaviorPolicy):
+    def on_visit(self, ctx):
+        from repro.attackers import actions
+
+        ctx.outcome.emails_read += actions.act_read_recent(
+            ctx.service, ctx.session, ctx.rng, ctx.now, max_reads=1
+        )
+        ctx.service.create_draft(
+            ctx.session,
+            "read this before you delete anything",
+            "your files are ours - payment instructions follow",
+            ("owner@localhost",),
+            ctx.now,
+        )
+        ctx.outcome.drafts_created += 1
+
+
+class TestCustomPersonaEndToEnd:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        scenario = (
+            scenarios.get("paste_only")
+            .to_builder()
+            .named("ransom-noter-study")
+            .with_duration_days(30.0)
+            .with_outlet_personas(
+                OutletKind.PASTE,
+                (
+                    (("test_ransom_noter",), 0.5),
+                    (("curious",), 0.5),
+                ),
+            )
+            .without_case_studies()
+            .build()
+        )
+        return BatchRunner(jobs=1).run(scenario, seeds=[2016, 2017])
+
+    def test_custom_persona_flows_through_batch_runner(self, batch):
+        assert len(batch.runs) == 2
+        for run in batch.runs:
+            truth = run.dataset.ground_truth_personas
+            assert any(
+                names == ("test_ransom_noter",) for names in truth.values()
+            )
+
+    def test_ground_truth_label_surfaces_in_analysis(self, batch):
+        for run in batch.runs:
+            report = run.analysis.persona_report
+            assert report.matched_accesses > 0
+            assert report.persona_access_counts.get("test_ransom_noter", 0) > 0
+            # the plugin is registered, so it is NOT in the other bucket
+            assert "test_ransom_noter" in persona_signature_table()
+
+    def test_ground_truth_survives_telemetry_round_trip(self, batch):
+        from repro.core.records import ObservedDataset
+
+        run = batch.runs[0]
+        payload = json.loads(json.dumps(run.dataset.to_json_dict()))
+        rebuilt = ObservedDataset.from_json_dict(payload)
+        assert rebuilt.ground_truth_personas == dict(
+            run.dataset.ground_truth_personas
+        )
+
+    def test_summary_reports_persona_counts(self, batch):
+        summary = batch.runs[0].summary()
+        counts = summary["persona_ground_truth"]["persona_access_counts"]
+        assert counts.get("test_ransom_noter", 0) > 0
+
+
+class TestMachinePacing:
+    def test_stuffing_probes_leave_no_observable_duration(self):
+        scenario = (
+            scenarios.get("paste_only")
+            .to_builder()
+            .named("stuffing-durations")
+            .with_duration_days(20.0)
+            .without_case_studies()
+            .only_persona("stuffing_bot")
+            .build()
+        )
+        run = scenario.run(seed=2016)
+        truth = run.dataset.ground_truth_personas
+        stuffing_accesses = [
+            access
+            for access in run.analysis.unique_accesses
+            if truth.get((access.account_address, access.cookie_id))
+            == ("stuffing_bot",)
+        ]
+        assert stuffing_accesses, "stuffing probes must be observed"
+        # One login, no end-of-visit re-authentication: every probe is
+        # a single activity-page row with zero measurable duration.
+        for access in stuffing_accesses:
+            assert access.observation_count == 1
+            assert access.duration == 0.0
+
+
+class TestOtherBucket:
+    def test_case_studies_fall_into_other_bucket(self):
+        run = (
+            scenarios.get("fast")
+            .to_builder()
+            .with_duration_days(40.0)
+            .build()
+            .run(seed=2016)
+        )
+        report = run.analysis.persona_report
+        # The blackmail campaign and its follow-up readers carry
+        # case_study:* ground-truth labels that are not registered
+        # personas; they must be reported, not crash.
+        assert report.other_accesses > 0
+        assert report.persona_access_counts.get(PERSONA_OTHER_BUCKET, 0) > 0
+        assert report.unmatched_accesses == 0

@@ -9,8 +9,8 @@ from repro.attackers.casestudies import (
     CardingForumRegistration,
     deliver_quota_notice,
 )
+from repro.attackers.personas import PersonaMix, personas
 from repro.attackers.population import (
-    _CLASS_MIX,
     AttackerPopulation,
     PopulationConfig,
 )
@@ -28,20 +28,31 @@ from repro.webmail.mailbox import Folder
 from repro.webmail.service import WebmailService
 
 
-class TestClassMixes:
+def _combo_classes(entry):
+    return frozenset().union(
+        *(personas.get(name).taxonomy for name in entry.personas)
+    )
+
+
+class TestPaperMix:
     def test_mixes_sum_to_one(self):
-        for outlet, mixes in _CLASS_MIX.items():
-            total = sum(weight for _, weight in mixes)
+        mix = PersonaMix.paper()
+        for outlet in mix.outlet_values():
+            total = sum(e.weight for e in mix.entries_for(outlet))
             assert total == pytest.approx(1.0), outlet
 
     def test_malware_mix_never_hijacks_or_spams(self):
-        for classes, _ in _CLASS_MIX[OutletKind.MALWARE]:
+        mix = PersonaMix.paper()
+        for entry in mix.entries_for(OutletKind.MALWARE):
+            classes = _combo_classes(entry)
             assert TaxonomyClass.HIJACKER not in classes
             assert TaxonomyClass.SPAMMER not in classes
 
     def test_no_pure_spammer_sets(self):
-        for mixes in _CLASS_MIX.values():
-            for classes, _ in mixes:
+        mix = PersonaMix.paper()
+        for outlet in mix.outlet_values():
+            for entry in mix.entries_for(outlet):
+                classes = _combo_classes(entry)
                 if TaxonomyClass.SPAMMER in classes:
                     assert len(classes) > 1
 

@@ -174,6 +174,45 @@ class TestCli:
         assert main(["scenarios", "warpdrive"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_personas_listing_and_describe(self, capsys):
+        assert main(["personas"]) == 0
+        output = capsys.readouterr().out
+        for name in ("curious", "stuffing_bot", "lurker", "hijacker"):
+            assert name in output
+        assert main(["personas", "data_exfiltrator"]) == 0
+        described = capsys.readouterr().out
+        assert "taxonomy=" in described and "expected_labels=" in described
+
+    def test_unknown_persona_is_reported(self, capsys):
+        assert main(["personas", "ghost"]) == 2
+        message = capsys.readouterr().err
+        assert "unknown persona" in message
+        assert "curious" in message  # known names are listed
+
+    def test_run_with_persona_mix_spec(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "paste_only",
+                "--seed", "5",
+                "--duration-days", "10",
+                "--persona-mix", "curious=0.5,stuffing_bot=0.5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ground truth" in output
+        assert "stuffing_bot" in output
+
+    def test_run_with_bad_persona_mix_reports_known_names(self, capsys):
+        exit_code = main(
+            ["run", "--persona-mix", "ghost=1.0", "--duration-days", "5"]
+        )
+        assert exit_code == 2
+        message = capsys.readouterr().err
+        assert "unknown persona" in message
+        assert "gold_digger" in message
+
     def test_sweep_command(self, tmp_path, capsys):
         exit_code = main(
             [

@@ -1,0 +1,57 @@
+"""Golden equivalence: the persona-based attacker layer == the seed.
+
+``tests/golden/paper_default_analysis.json`` holds per-field sha256
+fingerprints of the full Section 4 analysis output, captured from the
+code *before* the attacker layer was rewritten around the persona
+registry.  ``paper_default`` with the built-in persona mix must
+reproduce every field bit-for-bit across three seeds — the registry
+indirection, the policy dispatch and the mix draws may not shift a
+single RNG draw on the paper path.
+
+Regenerate the golden file only for intentional paper-path changes::
+
+    PYTHONPATH=src:tests python tests/golden/generate_paper_default_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from _golden import GOLDEN_FIELDS, analysis_fingerprint
+from repro.api.registry import scenarios
+from repro.attackers.personas import PersonaMix
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "paper_default_analysis.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_three_seeds():
+    assert len(GOLDEN["runs"]) == 3
+
+
+def test_paper_default_carries_the_paper_mix():
+    assert scenarios.get("paper_default").persona_mix == PersonaMix.paper()
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN["runs"], key=int))
+def test_paper_default_matches_pre_refactor_output(seed):
+    scenario = (
+        scenarios.get("paper_default")
+        .to_builder()
+        .with_duration_days(GOLDEN["duration_days"])
+        .build()
+    )
+    run = scenario.run(seed=int(seed))
+    fingerprint = analysis_fingerprint(run.analysis)
+    expected = GOLDEN["runs"][seed]
+    assert fingerprint["headline"] == expected["headline"]
+    mismatched = [
+        name
+        for name in GOLDEN_FIELDS
+        if fingerprint["fields"][name] != expected["fields"][name]
+    ]
+    assert not mismatched, (
+        "analysis fields diverged from the pre-refactor golden output: "
+        f"{mismatched}"
+    )

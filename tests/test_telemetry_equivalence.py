@@ -45,6 +45,7 @@ COMPARED_FIELDS = (
     "unlocated_accesses",
     "countries",
     "scan_period",
+    "persona_report",
 )
 
 DURATION_DAYS = 45.0
