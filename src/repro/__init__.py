@@ -85,6 +85,7 @@ from repro.core.experiment import (
     run_paper_experiment,
 )
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+from repro.perf import PhaseTimer, capture_profile, peak_rss_kb
 from repro.telemetry import (
     EventLog,
     JsonlSink,
@@ -93,7 +94,7 @@ from repro.telemetry import (
     StringTable,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AggregateStats",
@@ -110,6 +111,7 @@ __all__ = [
     "OverviewStats",
     "Persona",
     "PersonaMix",
+    "PhaseTimer",
     "RowView",
     "RunResult",
     "Scenario",
@@ -120,11 +122,13 @@ __all__ = [
     "__version__",
     "analyze",
     "analyze_experiment",
+    "capture_profile",
     "format_persona_report",
     "format_table2",
     "format_taxonomy_summary",
     "overview",
     "paper_leak_plan",
+    "peak_rss_kb",
     "personas",
     "register_persona",
     "run_paper_experiment",

@@ -20,6 +20,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.accesses import UniqueAccess
 from repro.core.notifications import NotificationKind
 from repro.core.records import ObservedDataset
@@ -35,7 +37,7 @@ class TaxonomyLabel(enum.Enum):
     HIJACKER = "hijacker"
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassifiedAccess:
     """A unique access plus its (possibly multiple) taxonomy labels."""
 
@@ -98,10 +100,24 @@ def _action_stream(dataset: ObservedDataset):
     lookup = store.strings.lookup
     account_ids = store.account_ids
     timestamps = store.timestamps
-    for index, kind_id in enumerate(store.kind_ids):
-        kind = kind_for_id.get(kind_id)
-        if kind is not None:
-            yield kind, lookup(account_ids[index]), timestamps[index]
+    kind_ids = store.kind_ids
+    if not kind_for_id or not len(kind_ids):
+        return
+    # Vectorised prefilter over a zero-copy view of the kind-id column:
+    # heartbeats dominate the notification stream, so only the action
+    # rows (np.isin survivors, in append order) reach Python.
+    matches = np.nonzero(
+        np.isin(
+            np.frombuffer(kind_ids, dtype=np.int64),
+            np.fromiter(kind_for_id, np.int64),
+        )
+    )[0]
+    for index in matches.tolist():
+        yield (
+            kind_for_id[kind_ids[index]],
+            lookup(account_ids[index]),
+            timestamps[index],
+        )
 
 
 def classify_accesses(

@@ -58,6 +58,11 @@ class RunResult:
         blacklisted_ips: the external IP-reputation snapshot.
         account_count: honey accounts deployed.
         elapsed_seconds: wall-clock runtime of the measurement.
+        perf: per-phase wall-clock seconds of the run (``build`` /
+            ``provision`` / ``leak`` / ``case_studies`` / ``simulate`` /
+            ``assemble``), as collected by the
+            :class:`repro.perf.PhaseTimer` inside ``Experiment.run``.
+            Survives pickling, so sweep workers report throughput too.
         experiment_result: the live :class:`ExperimentResult` when the
             run happened in this process; ``None`` after crossing a
             process boundary (it is intentionally not serialized).
@@ -71,6 +76,7 @@ class RunResult:
     blacklisted_ips: set[str]
     account_count: int
     elapsed_seconds: float
+    perf: dict[str, float] = field(default_factory=dict)
     experiment_result: ExperimentResult | None = field(
         default=None, repr=False, compare=False
     )
@@ -94,6 +100,7 @@ class RunResult:
             blacklisted_ips=set(result.blacklisted_ips),
             account_count=result.account_count,
             elapsed_seconds=elapsed_seconds,
+            perf=dict(result.perf),
             experiment_result=result,
         )
 
@@ -128,6 +135,27 @@ class RunResult:
             analysis.distances_uk, analysis.distances_us
         )
 
+    @property
+    def events_per_second(self) -> float:
+        """Simulation-loop throughput (events / ``simulate`` seconds).
+
+        Falls back to the whole-run wall clock when the run predates
+        phase accounting (e.g. a result unpickled from an old sweep).
+        """
+        simulate = self.perf.get("simulate", 0.0) or self.elapsed_seconds
+        if simulate <= 0.0:
+            return 0.0
+        return self.events_executed / simulate
+
+    def perf_summary(self) -> dict:
+        """Throughput and per-phase wall-clock of this run."""
+        return {
+            "events_executed": self.events_executed,
+            "events_per_second": round(self.events_per_second, 2),
+            "simulate_seconds": self.perf.get("simulate"),
+            "phases": dict(self.perf),
+        }
+
     def summary(self) -> dict:
         """A compact JSON-serialisable record of the run."""
         stats = self.overview()
@@ -137,6 +165,7 @@ class RunResult:
             "elapsed_seconds": self.elapsed_seconds,
             "events_executed": self.events_executed,
             "account_count": self.account_count,
+            "perf": self.perf_summary(),
             "overview": {
                 "unique_accesses": stats.unique_accesses,
                 "emails_read": stats.emails_read,
@@ -214,6 +243,9 @@ class RunResult:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        # Results pickled before phase accounting existed carry no
+        # "perf" entry; default it so events_per_second & friends work.
+        state.setdefault("perf", {})
         self.__dict__.update(state)
 
 
@@ -222,12 +254,17 @@ def run_scenario(
     seed: int | None = None,
     *,
     on_built: Callable[[Experiment], None] | None = None,
+    profile_path: str | None = None,
 ) -> RunResult:
     """Execute one scenario run and wrap it in a :class:`RunResult`.
 
     ``on_built`` runs after the simulated world exists but before
     anything is scheduled — the hook for attaching telemetry spill
     sinks, extra probes, or other instrumentation to the experiment.
+
+    ``profile_path`` dumps a :mod:`cProfile` capture of the simulation
+    loop to the given path (``pstats`` format; the CLI exposes it as
+    ``run --profile``).
     """
     if seed is not None:
         scenario = scenario.with_seed(seed)
@@ -235,6 +272,6 @@ def run_scenario(
     experiment = Experiment.from_scenario(scenario).build()
     if on_built is not None:
         on_built(experiment)
-    result = experiment.run()
+    result = experiment.run(profile_path=profile_path)
     elapsed = time.perf_counter() - started
     return RunResult.from_experiment(scenario, result, elapsed)

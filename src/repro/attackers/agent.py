@@ -90,6 +90,13 @@ class AttackerAgent:
         if policies is None:
             policies = default_policies_for(profile)
         self._policies: list[BehaviorPolicy] = list(policies)
+        # Per-session constants, computed once: the connection identity
+        # never changes between visits, and neither does the policy
+        # chain, so the login context and the machine-paced flag are
+        # visit-loop invariants.
+        self._login_context: LoginContext | None = None
+        self._visit_context: VisitContext | None = None
+        self._machine_paced = all(p.machine_paced for p in self._policies)
 
     @property
     def device_id(self) -> str:
@@ -134,11 +141,13 @@ class AttackerAgent:
 
     def _login(self, now: float) -> Session | None:
         self.outcome.logins_attempted += 1
-        context = LoginContext(
-            device_id=self._device_id,
-            ip_address=self._resolve_source_ip(),
-            user_agent=self._user_agent,
-        )
+        context = self._login_context
+        if context is None:
+            context = self._login_context = LoginContext(
+                device_id=self._device_id,
+                ip_address=self._resolve_source_ip(),
+                user_agent=self._user_agent,
+            )
         try:
             session = self._service.login(
                 self.account_address, self._password, context, now
@@ -185,14 +194,20 @@ class AttackerAgent:
             return
         profile = self.profile
         visit_length = minutes(self._rng.uniform(1.0, 35.0))
-        context = VisitContext(
-            agent=self,
-            service=self._service,
-            session=session,
-            rng=self._rng,
-            now=now,
-            is_first=is_first,
-        )
+        context = self._visit_context
+        if context is None:
+            context = self._visit_context = VisitContext(
+                agent=self,
+                service=self._service,
+                session=session,
+                rng=self._rng,
+                now=now,
+                is_first=is_first,
+            )
+        else:
+            context.session = session
+            context.now = now
+            context.is_first = is_first
         try:
             for policy in self._policies:
                 policy.on_visit(context)
@@ -205,7 +220,7 @@ class AttackerAgent:
         # shows the same cookie again, making the duration measurable.
         # Fully machine-paced agents (credential-stuffing probes) leave
         # after one login and never produce an observable duration.
-        if all(policy.machine_paced for policy in self._policies):
+        if self._machine_paced:
             return
         if visit_length > minutes(5):
             end_time = now + visit_length

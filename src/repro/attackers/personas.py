@@ -53,9 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 # ----------------------------------------------------------------------
 # the per-visit step API
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class VisitContext:
-    """Everything one policy step sees during one agent visit."""
+    """Everything one policy step sees during one agent visit.
+
+    Agents reuse one context across visits (mutating ``session`` /
+    ``now`` / ``is_first``), so policies must read it during
+    :meth:`BehaviorPolicy.on_visit` and not retain it between visits.
+    """
 
     agent: "AttackerAgent"
     service: "WebmailService"

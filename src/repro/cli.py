@@ -96,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream accesses/notifications to JSONL in DIR *during* the "
         "run (for measurements too large to keep resident)",
     )
+    run_parser.add_argument(
+        "--profile", default=None, metavar="FILE", dest="profile",
+        help="dump a cProfile capture of the simulation loop to FILE "
+        "(pstats format; inspect with 'python -m pstats FILE')",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registry scenarios, or describe one"
@@ -270,13 +275,17 @@ def _command_run(args) -> int:
     run = run_scenario(
         scenario,
         on_built=_attach_spill if args.spill_telemetry else None,
+        profile_path=args.profile,
     )
     for monitor in monitors:
         monitor.close_spill()
     stats = run.overview()
     print(f"measurement complete in {run.elapsed_seconds:.1f}s "
           f"(scenario={scenario.name}, seed={run.seed}, "
-          f"{run.events_executed} events)")
+          f"{run.events_executed} events, "
+          f"{run.events_per_second:,.0f} events/s)")
+    if args.profile:
+        print(f"wrote simulation-loop profile: {args.profile}")
     print(f"unique accesses: {stats.unique_accesses} (paper: 327)")
     print(f"emails read/sent/drafts: {stats.emails_read}/"
           f"{stats.emails_sent}/{stats.unique_drafts} "

@@ -20,6 +20,7 @@ config produce identical datasets.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -115,6 +116,12 @@ class ExperimentResult:
     ``blacklisted_ips`` plays the role of the Spamhaus lookup the paper
     ran over every observed IP at analysis time: it is reputation data
     external to the honey measurement itself.
+
+    ``perf`` holds the per-phase wall-clock breakdown of the run
+    (``build`` / ``provision`` / ``leak`` / ``case_studies`` /
+    ``simulate`` / ``assemble`` seconds) collected by the
+    :class:`repro.perf.PhaseTimer` threaded through :meth:`Experiment.
+    run`; sweeps read throughput from it without re-running benchmarks.
     """
 
     dataset: ObservedDataset
@@ -123,6 +130,7 @@ class ExperimentResult:
     config: ExperimentConfig
     events_executed: int
     blacklisted_ips: set[str] = field(default_factory=set)
+    perf: dict[str, float] = field(default_factory=dict)
 
     @property
     def account_count(self) -> int:
@@ -163,6 +171,7 @@ class Experiment:
         self._quota_notified: set[str] = set()
         self._provisioned = False
         self._built = False
+        self._build_seconds = 0.0
         # World components; populated by build().
         self._seeds: SeedSequence | None = None
         self.sim: Simulator | None = None
@@ -198,6 +207,7 @@ class Experiment:
         """Construct the simulated world (step 1).  Idempotent."""
         if self._built:
             return self
+        build_started = time.perf_counter()
         seeds = SeedSequence(self.config.master_seed)
         self._seeds = seeds
         self.sim = Simulator()
@@ -229,6 +239,10 @@ class Experiment:
             blacklist_registrar=self._register_infected_ip,
         )
         self._built = True
+        # Recorded here, not around the run()-phase call: callers (the
+        # scenario API in particular) usually build before run(), which
+        # would otherwise time an idempotent no-op as the build phase.
+        self._build_seconds = time.perf_counter() - build_started
         return self
 
     # ------------------------------------------------------------------
@@ -446,17 +460,39 @@ class Experiment:
     # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
-    def run(self) -> ExperimentResult:
-        """Execute the full measurement and assemble the dataset."""
-        self.build()
-        self.provision_accounts()
-        self.leak_credentials()
-        self.schedule_case_studies()
-        self.monitor.start()
-        executed = self.sim.run_until(days(self.config.duration_days))
-        self.monitor.stop()
+    def run(self, *, profile_path: str | None = None) -> ExperimentResult:
+        """Execute the full measurement and assemble the dataset.
+
+        Args:
+            profile_path: when set, a :mod:`cProfile` capture of the
+                simulation loop (only — setup and assembly are excluded)
+                is dumped to this path in ``pstats`` format.
+        """
+        from repro.perf import PhaseTimer, capture_profile
+
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            self.build()
+        already_built_seconds = self._build_seconds
+        with timer.phase("provision"):
+            self.provision_accounts()
+        with timer.phase("leak"):
+            self.leak_credentials()
+        with timer.phase("case_studies"):
+            self.schedule_case_studies()
+            self.monitor.start()
+        with timer.phase("simulate"), capture_profile(profile_path):
+            executed = self.sim.run_until(days(self.config.duration_days))
+        with timer.phase("assemble"):
+            self.monitor.stop()
+            dataset = self._assemble_dataset()
+        perf = timer.summary()
+        # When the world was built before run() (the scenario API path),
+        # the timed call above was an idempotent no-op; report the real
+        # construction cost recorded by build() itself.
+        perf["build"] = round(already_built_seconds, 6)
         return ExperimentResult(
-            dataset=self._assemble_dataset(),
+            dataset=dataset,
             honey_accounts=self.honey_accounts,
             ledger=self.ledger,
             config=self.config,
@@ -464,6 +500,7 @@ class Experiment:
             blacklisted_ips={
                 str(entry.address) for entry in self.blacklist
             },
+            perf=perf,
         )
 
     def _assemble_dataset(self) -> ObservedDataset:

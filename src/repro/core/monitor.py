@@ -134,6 +134,16 @@ class MonitorInfrastructure:
             geo.allocate_in_city(monitor_city) for _ in range(3)
         ]
         self._ip_cursor = 0
+        # LoginContext is frozen and the scraper's identity is fixed, so
+        # one context per infrastructure IP serves every scrape visit.
+        self._login_contexts: list[LoginContext] = [
+            LoginContext(
+                device_id="monitor-browser",
+                ip_address=ip,
+                user_agent=_SCRAPER_USER_AGENT,
+            )
+            for ip in self._monitor_ips
+        ]
         # One interning table across all four telemetry streams.
         self.telemetry_strings = StringTable()
         self.access_store = AccessStore(strings=self.telemetry_strings)
@@ -197,6 +207,13 @@ class MonitorInfrastructure:
     def register_monitor_ip(self, address: IPAddress) -> None:
         """Register an additional infrastructure IP (e.g. the sandbox)."""
         self._monitor_ips.append(address)
+        self._login_contexts.append(
+            LoginContext(
+                device_id="monitor-browser",
+                ip_address=address,
+                user_agent=_SCRAPER_USER_AGENT,
+            )
+        )
 
     def watch(self, address: str, password: str) -> None:
         """Start scraping an account with its leaked credentials."""
@@ -253,10 +270,14 @@ class MonitorInfrastructure:
             sink.close()
         self._spill_sinks.clear()
 
-    def _next_ip(self) -> IPAddress:
-        ip = self._monitor_ips[self._ip_cursor % len(self._monitor_ips)]
+    def _next_context(self) -> LoginContext:
+        """The reusable login context for the next scrape visit,
+        rotating through the infrastructure IPs."""
+        context = self._login_contexts[
+            self._ip_cursor % len(self._login_contexts)
+        ]
         self._ip_cursor += 1
-        return ip
+        return context
 
     def _scrape_all(self) -> None:
         now = self._sim.now
@@ -268,14 +289,10 @@ class MonitorInfrastructure:
     def _log_scrape(
         self, address: str, now: float, outcome: ScrapeOutcome, count: int
     ) -> None:
-        self.scrape_log_store.append((address, now, outcome.value, count))
+        self.scrape_log_store.append_fields(address, now, outcome.value, count)
 
     def _scrape_one(self, watched: _WatchedAccount, now: float) -> None:
-        context = LoginContext(
-            device_id="monitor-browser",
-            ip_address=self._next_ip(),
-            user_agent=_SCRAPER_USER_AGENT,
-        )
+        context = self._next_context()
         try:
             session = self._service.login(
                 watched.address, watched.password, context, now
@@ -298,27 +315,37 @@ class MonitorInfrastructure:
         events, watched.cursor = self._service.activity.read_from(
             watched.address, watched.cursor
         )
-        for event in events:
-            self._ingest_event(event)
+        if events:
+            ingest = self._ingest_event
+            for event in events:
+                ingest(event)
         self._service.logout(session)
         self._log_scrape(watched.address, now, ScrapeOutcome.OK, len(events))
 
     def _ingest_event(self, event: AccessEvent) -> int:
         """Offline parsing of one dumped activity-page row, straight
-        into the columnar store (no intermediate row object)."""
+        into the columnar store (no intermediate row object).
+
+        Field extraction leans on the shared caches: ``dotted`` renders
+        each IP once per address object, the fingerprint is a memoised
+        frozen record, and the location is the per-prefix shared
+        instance — so a scrape tick costs interning probes, not string
+        building.
+        """
         location = event.location
+        fingerprint = event.fingerprint
         return self.access_store.append_fields(
             event.account_address,
-            str(event.cookie),
-            str(event.ip_address),
+            event.cookie.value,
+            event.ip_address.dotted,
             location.city if location else None,
             location.country if location else None,
             location.latitude if location else None,
             location.longitude if location else None,
-            event.fingerprint.kind.value,
-            event.fingerprint.os_family,
-            event.fingerprint.browser,
-            event.fingerprint.user_agent,
+            fingerprint.kind.value,
+            fingerprint.os_family,
+            fingerprint.browser,
+            fingerprint.user_agent,
             event.timestamp,
         )
 

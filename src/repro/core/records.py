@@ -44,7 +44,7 @@ from repro.telemetry import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObservedAccess:
     """One scraped activity-page row, as parsed offline.
 

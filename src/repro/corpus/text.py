@@ -48,6 +48,21 @@ STOPWORDS: frozenset[str] = frozenset(
 
 _TOKEN_RE = re.compile(r"[a-z]+")
 
+#: min_length -> compiled ``[a-z]{min_length,}`` pattern.  Because
+#: ``[a-z]+`` matches maximal runs, a run of length >= n is matched
+#: identically by ``[a-z]{n,}`` — so length filtering can happen inside
+#: the regex scan instead of per token.
+_SIZED_TOKEN_RES: dict[int, re.Pattern] = {}
+
+
+def _sized_token_re(min_length: int) -> re.Pattern:
+    pattern = _SIZED_TOKEN_RES.get(min_length)
+    if pattern is None:
+        pattern = _SIZED_TOKEN_RES[min_length] = re.compile(
+            r"[a-z]{%d,}" % max(min_length, 1)
+        )
+    return pattern
+
 
 def tokenize(text: str) -> list[str]:
     """Lowercase ``text`` and extract alphabetic word tokens."""
@@ -86,15 +101,14 @@ def prepare_document(
 
     The TF-IDF analysis treats "all emails" and "read emails" each as one
     document; this helper builds those documents.
+
+    One pass: the exclusion set is built once (not per text, which
+    dominated ``analyze()`` wall-clock — honey-handle exclusion lists run
+    to hundreds of tokens), and the texts are joined with a newline — a
+    non-token character, so the token stream is identical to tokenising
+    each text separately — for a single regex scan.
     """
-    terms: list[str] = []
-    exclusions = tuple(extra_exclusions)
-    for text in texts:
-        terms.extend(
-            filter_terms(
-                tokenize(text),
-                min_length=min_length,
-                extra_exclusions=exclusions,
-            )
-        )
-    return terms
+    exclusions = HEADER_WORDS | SIGNAL_WORDS | STOPWORDS
+    exclusions |= {term.lower() for term in extra_exclusions}
+    tokens = _sized_token_re(min_length).findall("\n".join(texts).lower())
+    return [token for token in tokens if token not in exclusions]

@@ -38,8 +38,18 @@ class DeviceFingerprint:
         return self.user_agent == ""
 
 
+#: UA string -> fingerprint memo.  Fingerprints are frozen and UA parsing
+#: is pure, so every login with the same UA can share one object; a run
+#: sees a few thousand distinct UA strings but records one per access.
+_FINGERPRINT_CACHE: dict[str, DeviceFingerprint] = {}
+_FINGERPRINT_CACHE_LIMIT = 65536
+
+
 def fingerprint_from_user_agent(raw_user_agent: str) -> DeviceFingerprint:
     """Derive the provider-side fingerprint from a raw UA string."""
+    cached = _FINGERPRINT_CACHE.get(raw_user_agent)
+    if cached is not None:
+        return cached
     info: UserAgentInfo = parse_user_agent(raw_user_agent)
     if info.is_empty:
         kind = DeviceKind.UNKNOWN
@@ -47,9 +57,13 @@ def fingerprint_from_user_agent(raw_user_agent: str) -> DeviceFingerprint:
         kind = DeviceKind.ANDROID
     else:
         kind = DeviceKind.DESKTOP
-    return DeviceFingerprint(
+    fingerprint = DeviceFingerprint(
         kind=kind,
         os_family=info.os_family,
         browser=info.browser,
         user_agent=raw_user_agent,
     )
+    if len(_FINGERPRINT_CACHE) >= _FINGERPRINT_CACHE_LIMIT:
+        _FINGERPRINT_CACHE.clear()
+    _FINGERPRINT_CACHE[raw_user_agent] = fingerprint
+    return fingerprint

@@ -87,6 +87,11 @@ class GeoDatabase:
                 self._prefix_to_city[prefix] = city
         self._unlocated_pools: set[str] = set()
         self._next_free_prefix = next_prefix
+        #: prefix16 -> shared GeoLocation (or None), filled lazily.
+        #: Locations are frozen and city-level, so every address in a
+        #: prefix shares one object; lookups on the login hot path are
+        #: a single dict probe.
+        self._prefix_locations: dict[int, GeoLocation | None] = {}
 
     @staticmethod
     def _pool_name(city: City) -> str:
@@ -121,15 +126,25 @@ class GeoDatabase:
 
     def locate(self, address: IPAddress) -> GeoLocation | None:
         """Geolocate an address; ``None`` for Tor/proxy/unknown space."""
-        city = self._prefix_to_city.get(address.prefix16)
-        if city is None:
-            return None
-        return GeoLocation(
-            city=city.name,
-            country=city.country,
-            latitude=city.latitude,
-            longitude=city.longitude,
+        prefix = address.value >> 16
+        cache = self._prefix_locations
+        try:
+            return cache[prefix]
+        except KeyError:
+            pass
+        city = self._prefix_to_city.get(prefix)
+        location = (
+            None
+            if city is None
+            else GeoLocation(
+                city=city.name,
+                country=city.country,
+                latitude=city.latitude,
+                longitude=city.longitude,
+            )
         )
+        cache[prefix] = location
+        return location
 
     def city_of(self, address: IPAddress) -> City | None:
         """The :class:`City` owning ``address``, or ``None``."""

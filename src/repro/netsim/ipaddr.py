@@ -10,16 +10,25 @@ draws from separate pools.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True, order=True)
 class IPAddress:
-    """An IPv4 address as an immutable 32-bit integer."""
+    """An IPv4 address as an immutable 32-bit integer.
+
+    The dotted-quad rendering is cached on first use: every scraped
+    activity-page row stringifies its source address, and the same few
+    monitor/agent addresses are rendered hundreds of thousands of times
+    per run.
+    """
 
     value: int
+    _dotted: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0 <= self.value <= 0xFFFFFFFF:
@@ -58,8 +67,18 @@ class IPAddress:
         """The /16 network containing this address (top 16 bits)."""
         return self.value >> 16
 
+    @property
+    def dotted(self) -> str:
+        """Dotted-quad notation, computed once per address object."""
+        rendered = self._dotted
+        if rendered is None:
+            v = self.value
+            rendered = f"{v >> 24 & 255}.{v >> 16 & 255}.{v >> 8 & 255}.{v & 255}"
+            object.__setattr__(self, "_dotted", rendered)
+        return rendered
+
     def __str__(self) -> str:
-        return ".".join(str(o) for o in self.octets)
+        return self.dotted
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"IPAddress({str(self)!r})"

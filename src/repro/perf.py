@@ -1,0 +1,100 @@
+"""Lightweight performance instrumentation for experiment runs.
+
+Two tools, both stdlib-only and cheap enough to stay on by default:
+
+* :class:`PhaseTimer` — named wall-clock phase accounting.  The
+  experiment threads one through :meth:`~repro.core.experiment.
+  Experiment.run`, so every :class:`~repro.api.RunResult` can report
+  where a run spent its time (world build, provisioning, leaking, the
+  simulation loop, dataset assembly) without re-running benchmarks.
+* :func:`capture_profile` — a context manager wrapping a code region in
+  :mod:`cProfile` and dumping ``pstats`` output to a file; the CLI's
+  ``run --profile out.pstats`` uses it around the simulation loop.
+
+``peak_rss_kb`` reports the process high-water mark the way the
+benchmark scripts record it (``ru_maxrss``), so committed BENCH files
+and ad-hoc measurements agree on units.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux; on macOS the kernel reports
+    bytes, which this helper normalises.  Returns 0 on platforms
+    without the ``resource`` module (Windows) — imported lazily so that
+    ``import repro`` keeps working there.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        rss //= 1024
+    return rss
+
+
+class PhaseTimer:
+    """Accumulates named wall-clock phases, in execution order.
+
+    Phases may repeat; durations accumulate under the same name.  The
+    timer is deliberately dumb — no nesting, no threads — because the
+    run loop it instruments is single-threaded and flat.
+    """
+
+    def __init__(self) -> None:
+        self._phases: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """Name -> accumulated seconds, in first-execution order."""
+        return dict(self._phases)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._phases.values())
+
+    def summary(self) -> dict[str, float]:
+        """A JSON-ready copy of the phase table (rounded for humans)."""
+        return {name: round(seconds, 6) for name, seconds in self._phases.items()}
+
+
+@contextmanager
+def capture_profile(path: str | None) -> Iterator[cProfile.Profile | None]:
+    """Profile the enclosed block into ``path`` (pstats format).
+
+    With ``path=None`` this is a no-op yielding ``None``, so call sites
+    can wrap their hot region unconditionally::
+
+        with capture_profile(profile_path):
+            sim.run_until(end)
+    """
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))

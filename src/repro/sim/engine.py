@@ -9,6 +9,7 @@ to collect failures instead.
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable
 
 from repro.errors import SchedulingError, SimulationError
@@ -90,6 +91,16 @@ class Simulator:
         """Install a handler for callback exceptions (``None`` re-raises)."""
         self._error_handler = handler
 
+    @property
+    def error_handler(self) -> Callable[[Event, Exception], None] | None:
+        """The installed callback-exception handler (``None`` re-raises).
+
+        Exposed so compound events — a :class:`~repro.sim.process.
+        PeriodicBatch` tick running many member callbacks — can apply
+        the same per-callback isolation the engine applies per event.
+        """
+        return self._error_handler
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -113,6 +124,13 @@ class Simulator:
     def run_until(self, end_time: float, *, max_events: int | None = None) -> int:
         """Run events until ``end_time`` (inclusive) and advance the clock there.
 
+        This is the simulation's innermost loop, dispatching straight off
+        the queue's ``(time, priority, sequence, event)`` heap tuples:
+        no ``step()`` call, no ``peek_time`` round trip, no clock
+        monotonicity re-check per event (heap pop order is nondecreasing
+        and scheduling already rejects past times).  Firing order is
+        bit-identical to popping events one at a time.
+
         Args:
             end_time: absolute sim-time to run to.
             max_events: optional safety cap on executed events.
@@ -122,24 +140,45 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run_until called re-entrantly")
-        if end_time < self.clock.now:
+        clock = self.clock
+        if end_time < clock._now:
             raise SimulationError(
-                f"end_time {end_time} is before current time {self.clock.now}"
+                f"end_time {end_time} is before current time {clock.now}"
             )
         self._running = True
         executed = 0
+        queue = self._queue
+        heap = queue._heap
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
+            while heap:
+                entry = heap[0]
+                event_time = entry[0]
+                if event_time > end_time:
                     break
-                self.step()
+                heappop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    continue
+                queue._live -= 1
+                # Mark fired (mirrors EventQueue.pop): the event left the
+                # queue, so a cancel() from inside its own callback — a
+                # periodic process stopping itself mid-tick — is a no-op
+                # instead of double-decrementing the live count.
+                event.cancelled = True
+                clock._now = event_time
+                self._events_fired += 1
                 executed += 1
+                try:
+                    event.callback()
+                except Exception as exc:  # noqa: BLE001 - routed to handler
+                    if self._error_handler is None:
+                        raise
+                    self._error_handler(event, exc)
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"run_until exceeded max_events={max_events}"
                     )
-            self.clock.advance_to(end_time)
+            clock.advance_to(end_time)
         finally:
             self._running = False
         return executed

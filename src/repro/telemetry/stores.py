@@ -203,6 +203,34 @@ class ScrapeLogStore(EventLog):
 
     def __init__(self, *, strings: StringTable | None = None) -> None:
         super().__init__(SCRAPE_LOG_FIELDS, strings=strings)
+        self._after_restore()
+
+    def _after_restore(self) -> None:
+        columns = self._columns
+        self.address_ids = columns[0].ids
+        self.timestamps = columns[1].data
+        self.outcome_ids = columns[2].ids
+        self.event_counts = columns[3].data
+
+    def append_fields(
+        self,
+        address: str,
+        timestamp: float,
+        outcome_value: str,
+        new_events: int,
+    ) -> int:
+        """Ingest one scrape diagnostic (hot path: one row per account
+        per scrape tick; ``outcome_value`` is the ``ScrapeOutcome``
+        value string)."""
+        intern = self.strings.intern
+        index = len(self.timestamps)
+        self.address_ids.append(intern(address))
+        self.timestamps.append(timestamp)
+        self.outcome_ids.append(intern(outcome_value))
+        self.event_counts.append(new_events)
+        if self._sinks:
+            self._notify_sinks(index)
+        return index
 
 
 class ScrapeFailureLog(EventLog):

@@ -26,7 +26,7 @@ from repro.netsim.ipaddr import IPAddress
 from repro.webmail.sessions import Cookie
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessEvent:
     """One row of the activity page: a login or returning visit."""
 

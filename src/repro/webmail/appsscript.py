@@ -22,7 +22,7 @@ from typing import Callable, Protocol
 from repro.errors import QuotaExceededError, ConfigurationError
 from repro.sim.clock import days
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import BatchMember, PeriodicBatch, PeriodicProcess
 
 
 class AppsScript(Protocol):
@@ -36,7 +36,7 @@ class AppsScript(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class ScriptQuota:
     """Daily execution-time budget for one account's scripts."""
 
@@ -63,11 +63,17 @@ class ScriptQuota:
 
 @dataclass
 class _Installation:
-    """One script installed on one account."""
+    """One script installed on one account.
+
+    ``trigger`` is the stop handle for the installation's schedule:
+    a shared-tick :class:`~repro.sim.process.BatchMember` on the fast
+    path, or a dedicated :class:`~repro.sim.process.PeriodicProcess`
+    when trigger batching is off.  Both expose ``stop()``.
+    """
 
     account_address: str
     script: AppsScript
-    trigger: PeriodicProcess
+    trigger: BatchMember | PeriodicProcess
     hidden_in: str
     deleted: bool = False
 
@@ -75,12 +81,24 @@ class _Installation:
 class AppsScriptRuntime:
     """Executes installed scripts on their time triggers.
 
+    Same-cadence, same-phase triggers — every honey account's scan
+    script, in the paper's setup — share one calendar batch: a single
+    heap event per tick that executes the installations in install
+    order, exactly the order their individual events would have popped
+    by sequence number.  A 200-account run schedules ~200x fewer events
+    without moving a single script execution in time or order.
+
     Args:
         sim: the simulation engine providing triggers.
         quota_notifier: callback invoked as ``(account_address, now)``
             whenever a script run trips the daily quota; the honey
             framework wires this to the provider's notification email
             ("using too much computer time").
+        batch_triggers: share heap events between same-cadence
+            same-phase triggers (default).  Disable to schedule one
+            :class:`PeriodicProcess` per installation, as the pre-batch
+            code did — kept for the ``bench_run.py`` regression gate
+            and for equivalence tests.
     """
 
     def __init__(
@@ -89,6 +107,7 @@ class AppsScriptRuntime:
         *,
         quota_notifier: Callable[[str, float], None] | None = None,
         daily_quota_seconds: float = 90.0,
+        batch_triggers: bool = True,
     ) -> None:
         self._sim = sim
         self._installations: dict[int, _Installation] = {}
@@ -96,8 +115,28 @@ class AppsScriptRuntime:
         self._quota_notifier = quota_notifier
         self._daily_quota_seconds = daily_quota_seconds
         self._next_id = 1
+        self.batch_triggers = batch_triggers
+        self._batches: list[PeriodicBatch] = []
         self.runs_executed = 0
         self.quota_trips = 0
+
+    def _batch_for(self, period: float, start_delay: float | None) -> PeriodicBatch:
+        """The live batch whose pending tick matches ``now + start_delay``,
+        creating one when no compatible batch exists."""
+        first_delay = float(period) if start_delay is None else float(start_delay)
+        first_time = self._sim.clock.now + first_delay
+        for batch in self._batches:
+            if batch.matches(period, first_time):
+                return batch
+        batch = PeriodicBatch(
+            self._sim,
+            period,
+            start_delay=first_delay,
+            label=f"apps-script:batch:{period:g}s",
+        )
+        self._batches = [b for b in self._batches if not b.stopped]
+        self._batches.append(batch)
+        return batch
 
     def install(
         self,
@@ -120,13 +159,18 @@ class AppsScriptRuntime:
         def _fire() -> None:
             self._execute(installation_id)
 
-        trigger = PeriodicProcess(
-            self._sim,
-            period,
-            _fire,
-            start_delay=start_delay,
-            label=f"apps-script:{account_address}:{installation_id}",
-        )
+        if self.batch_triggers:
+            trigger: BatchMember | PeriodicProcess = self._batch_for(
+                period, start_delay
+            ).add(_fire)
+        else:
+            trigger = PeriodicProcess(
+                self._sim,
+                period,
+                _fire,
+                start_delay=start_delay,
+                label=f"apps-script:{account_address}:{installation_id}",
+            )
         self._installations[installation_id] = _Installation(
             account_address=account_address,
             script=script,
@@ -143,7 +187,7 @@ class AppsScriptRuntime:
         installation = self._installations.get(installation_id)
         if installation is None or installation.deleted:
             return
-        now = self._sim.now
+        now = self._sim.clock.now
         quota = self._quotas[installation.account_address]
         try:
             quota.charge(installation.script.execution_cost, now)

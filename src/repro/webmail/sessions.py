@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.errors import SessionError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cookie:
     """An opaque per-device-per-account cookie identifier."""
 
@@ -27,9 +27,13 @@ class Cookie:
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class Session:
-    """A live login session bound to a cookie."""
+    """A live login session bound to a cookie.
+
+    Slotted: one session object is minted per login, which on the
+    monitoring path means one per account per scrape tick.
+    """
 
     cookie: Cookie
     account_address: str
