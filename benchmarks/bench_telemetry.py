@@ -40,6 +40,7 @@ on the ingest benchmark.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import random
 import resource
@@ -487,8 +488,13 @@ def bench_population(events: int) -> dict:
         anonymity = AnonymityNetwork(geo, random.Random(9))
         return Simulator(), service, geo, anonymity
 
+    # Collect before each timed phase: this bench runs after the
+    # ingest/analysis workloads, whose garbage would otherwise be paid
+    # off by whichever spawn loop happens to trip the next gen-2
+    # collection — ratios of up to 3x that vanish under a clean heap.
     sim, service, geo, anonymity = world()
     legacy = _LegacyMixSpawner(sim, service, geo, anonymity, random.Random(3))
+    gc.collect()
     started = time.perf_counter()
     for event in leak_events:
         legacy.spawn_paste(event, "p123456")
@@ -502,6 +508,7 @@ def bench_population(events: int) -> dict:
         anonymity=anonymity,
         rng=random.Random(3),
     )
+    gc.collect()
     started = time.perf_counter()
     for event in leak_events:
         population.spawn_for_leak(event, "p123456")

@@ -64,11 +64,11 @@ def main() -> None:
     print(f"label totals: {stats.label_totals}")
     delays = analysis.delays_by_group.get("dumpz_trial", [])
     if delays:
-        print(f"median leak-to-access delay: "
+        print("median leak-to-access delay: "
               f"{sorted(delays)[len(delays) // 2]:.1f} days")
     circles = {c.category: c.radius_km for c in analysis.circles_uk}
     if "paste_uk" in circles:
-        print(f"median distance from London: "
+        print("median distance from London: "
               f"{circles['paste_uk']:.0f} km "
               "(UK location was advertised)")
     print("\nthe standard analysis pipeline ran unchanged on a custom "

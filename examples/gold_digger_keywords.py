@@ -11,7 +11,7 @@ Run:  python examples/gold_digger_keywords.py
 
 from __future__ import annotations
 
-from repro import analyze, run_paper_experiment
+from repro import run_paper_experiment
 from repro.analysis.keywords import infer_searched_words
 from repro.core.notifications import NotificationKind
 
@@ -19,7 +19,6 @@ from repro.core.notifications import NotificationKind
 def main() -> None:
     result = run_paper_experiment(seed=2016)
     dataset = result.dataset
-    analysis = analyze(dataset, scan_period=result.config.scan_period)
 
     reads = [
         n
@@ -28,7 +27,7 @@ def main() -> None:
     ]
     print(f"read-event notifications with content: {len(reads)}")
     drafts_read = [n for n in reads if "bitcoin" in n.body_copy]
-    print(f"  ...of which mention bitcoin (blackmailer drafts/mail): "
+    print("  ...of which mention bitcoin (blackmailer drafts/mail): "
           f"{len(drafts_read)}")
 
     inference = infer_searched_words(dataset)

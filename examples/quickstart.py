@@ -12,8 +12,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import random
-
 from repro.core.groups import paper_leak_plan
 from repro.core.honeyaccount import HoneyAccountFactory
 from repro.core.monitor import MonitorInfrastructure

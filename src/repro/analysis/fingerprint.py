@@ -1,0 +1,132 @@
+"""Canonical fingerprinting of :class:`AnalysisResults`.
+
+Reduces every Section 4 analysis field to a canonical, platform-stable
+JSON form and hashes it.  Two consumers:
+
+* the golden equivalence tests (``tests/test_persona_golden.py``) pin
+  the ``paper_default`` output against refactors of the attacker and
+  telemetry layers;
+* the sharded runner (:mod:`repro.shard`, ``repro run --shards K
+  --fingerprint``) proves a merged multi-process run equals the serial
+  one without shipping whole datasets around.
+
+Originally this lived in ``tests/_golden.py``; it moved into the
+package when the CLI grew a ``--fingerprint`` flag (the tests now
+re-export from here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+
+#: The analysis fields covered by a fingerprint.  This is the
+#: pre-persona-refactor field set on purpose: new fields (for example
+#: ground-truth persona reports) may be added to ``AnalysisResults``
+#: without invalidating existing pins, but none of these may change.
+FINGERPRINT_FIELDS = (
+    "unique_accesses",
+    "classified",
+    "label_totals",
+    "outlet_distribution",
+    "durations_by_label",
+    "delays_by_outlet",
+    "delays_by_group",
+    "timeline_by_outlet",
+    "circles_uk",
+    "circles_us",
+    "distances_uk",
+    "distances_us",
+    "keywords",
+    "emails_read",
+    "emails_sent",
+    "unique_drafts",
+    "located_accesses",
+    "unlocated_accesses",
+    "countries",
+    "scan_period",
+)
+
+
+def canonicalize(value):
+    """Reduce ``value`` to JSON-safe data with deterministic ordering.
+
+    Floats are rounded to 10 significant digits: the TF-IDF pipeline
+    sums over hash-ordered string sets, so its float outputs differ in
+    the last ulp between processes (PYTHONHASHSEED); 10 digits is far
+    below any behavioural change while stable across runs.  Sets are
+    sorted by their canonical JSON encoding; dict items are sorted the
+    same way, so enum keys and string keys both order
+    deterministically.
+    """
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: canonicalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, float):
+        return {"__float__": f"{value:.10g}"}
+    if isinstance(value, (set, frozenset)):
+        items = [canonicalize(item) for item in value]
+        return {"__set__": sorted(items, key=_sort_key)}
+    if isinstance(value, dict):
+        items = [
+            (canonicalize(key), canonicalize(item))
+            for key, item in value.items()
+        ]
+        return {"__dict__": sorted(items, key=lambda kv: _sort_key(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
+
+
+def _sort_key(canonical) -> str:
+    return json.dumps(canonical, sort_keys=True)
+
+
+def field_digest(analysis, name: str) -> str:
+    """The sha256 hex digest of one canonicalized analysis field."""
+    canonical = canonicalize(getattr(analysis, name))
+    encoded = json.dumps(canonical, sort_keys=True).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def analysis_fingerprint(analysis) -> dict:
+    """Per-field digests plus headline numbers for readable diffs."""
+    return {
+        "fields": {
+            name: field_digest(analysis, name)
+            for name in FINGERPRINT_FIELDS
+        },
+        "headline": {
+            "unique_accesses": analysis.total_unique_accesses,
+            "emails_read": analysis.emails_read,
+            "emails_sent": analysis.emails_sent,
+            "unique_drafts": analysis.unique_drafts,
+            "label_totals": {
+                label.value: count
+                for label, count in sorted(
+                    analysis.label_totals.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "located_accesses": analysis.located_accesses,
+            "unlocated_accesses": analysis.unlocated_accesses,
+            "countries": sorted(analysis.countries),
+        },
+    }
+
+
+def fingerprint_digest(analysis) -> str:
+    """One sha256 over the whole fingerprint (the CLI's one-liner)."""
+    fingerprint = analysis_fingerprint(analysis)
+    encoded = json.dumps(fingerprint, sort_keys=True).encode()
+    return hashlib.sha256(encoded).hexdigest()

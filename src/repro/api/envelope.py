@@ -63,6 +63,11 @@ class RunResult:
             ``assemble``), as collected by the
             :class:`repro.perf.PhaseTimer` inside ``Experiment.run``.
             Survives pickling, so sweep workers report throughput too.
+            For sharded runs each entry is the per-phase *maximum*
+            across shards (the critical path an idealised worker pool
+            pays), plus a ``merge`` phase.
+        shard_perf: per-shard phase breakdowns when the run was sharded
+            (:mod:`repro.shard`); ``None`` for serial runs.
         experiment_result: the live :class:`ExperimentResult` when the
             run happened in this process; ``None`` after crossing a
             process boundary (it is intentionally not serialized).
@@ -77,6 +82,7 @@ class RunResult:
     account_count: int
     elapsed_seconds: float
     perf: dict[str, float] = field(default_factory=dict)
+    shard_perf: list[dict] | None = None
     experiment_result: ExperimentResult | None = field(
         default=None, repr=False, compare=False
     )
@@ -149,12 +155,16 @@ class RunResult:
 
     def perf_summary(self) -> dict:
         """Throughput and per-phase wall-clock of this run."""
-        return {
+        summary = {
             "events_executed": self.events_executed,
             "events_per_second": round(self.events_per_second, 2),
             "simulate_seconds": self.perf.get("simulate"),
             "phases": dict(self.perf),
         }
+        if self.shard_perf is not None:
+            summary["shards"] = len(self.shard_perf)
+            summary["shard_phases"] = [dict(s) for s in self.shard_perf]
+        return summary
 
     def summary(self) -> dict:
         """A compact JSON-serialisable record of the run."""
@@ -245,7 +255,10 @@ class RunResult:
     def __setstate__(self, state: dict) -> None:
         # Results pickled before phase accounting existed carry no
         # "perf" entry; default it so events_per_second & friends work.
+        # "shard_perf" arrived with the sharded runner and defaults the
+        # same way.
         state.setdefault("perf", {})
+        state.setdefault("shard_perf", None)
         self.__dict__.update(state)
 
 
@@ -255,6 +268,7 @@ def run_scenario(
     *,
     on_built: Callable[[Experiment], None] | None = None,
     profile_path: str | None = None,
+    jobs: int | None = None,
 ) -> RunResult:
     """Execute one scenario run and wrap it in a :class:`RunResult`.
 
@@ -265,9 +279,27 @@ def run_scenario(
     ``profile_path`` dumps a :mod:`cProfile` capture of the simulation
     loop to the given path (``pstats`` format; the CLI exposes it as
     ``run --profile``).
+
+    Scenarios with ``shards > 1`` run on the sharded executor
+    (:mod:`repro.shard`) with ``jobs`` worker processes; the result is
+    bit-identical to the serial path.  ``on_built`` and
+    ``profile_path`` apply to in-process worlds only and are rejected
+    for sharded runs.
     """
     if seed is not None:
         scenario = scenario.with_seed(seed)
+    if scenario.shards > 1:
+        if on_built is not None or profile_path is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "on_built/profile_path instrument one in-process world "
+                "and cannot apply to a sharded run; use shards=1 or "
+                "instrument repro.shard directly"
+            )
+        from repro.shard import run_sharded
+
+        return run_sharded(scenario, jobs=jobs)
     started = time.perf_counter()
     experiment = Experiment.from_scenario(scenario).build()
     if on_built is not None:

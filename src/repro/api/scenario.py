@@ -84,6 +84,11 @@ class Scenario:
         leak_plan: which accounts are leaked on which outlets.
         persona_mix: which attacker personas each outlet attracts
             (defaults to the paper's calibrated mix).
+        shards: how many worker processes a run partitions the account
+            population across (``1`` = ordinary serial execution; see
+            :mod:`repro.shard`).  Sharded runs produce bit-identical
+            ``analyze()`` output, so this is an execution knob, not an
+            experimental variable.
         description: one-line human summary shown by ``repro scenarios``.
     """
 
@@ -91,7 +96,12 @@ class Scenario:
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     leak_plan: LeakPlan = field(default_factory=paper_leak_plan)
     persona_mix: PersonaMix = field(default_factory=PersonaMix.paper)
+    shards: int = 1
     description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
 
     # ------------------------------------------------------------------
     # derived views
@@ -130,6 +140,8 @@ class Scenario:
             lines.append("  personas=paper mix")
         else:
             lines.append(f"  personas={self.persona_mix.summary()}")
+        if self.shards != 1:
+            lines.append(f"  shards={self.shards}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -145,6 +157,12 @@ class Scenario:
         if description is None:
             description = self.description
         return replace(self, name=name, description=description)
+
+    def with_shards(self, shards: int) -> "Scenario":
+        """The same scenario partitioned across ``shards`` workers."""
+        if shards == self.shards:
+            return self
+        return replace(self, shards=shards)
 
     @classmethod
     def builder(cls, base: "Scenario | None" = None) -> "ScenarioBuilder":
@@ -178,7 +196,7 @@ class Scenario:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format_version": SCENARIO_FORMAT_VERSION,
             "name": self.name,
             "description": self.description,
@@ -186,6 +204,9 @@ class Scenario:
             "leak_plan": self.leak_plan.to_dict(),
             "persona_mix": self.persona_mix.to_dict(),
         }
+        if self.shards != 1:
+            data["shards"] = self.shards
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -213,6 +234,7 @@ class Scenario:
             config=config,
             leak_plan=leak_plan,
             persona_mix=persona_mix,
+            shards=data.get("shards", 1),
             description=data.get("description", ""),
         )
 
@@ -250,6 +272,7 @@ class ScenarioBuilder:
         self._config = base.config
         self._leak_plan = base.leak_plan
         self._persona_mix = base.persona_mix
+        self._shards = base.shards
         # A base whose horizon is already decoupled from its duration
         # was built that way on purpose; keep round-trips faithful.
         self._horizon_set_explicitly = (
@@ -361,6 +384,18 @@ class ScenarioBuilder:
         self._persona_mix = PersonaMix.single(name).validate()
         return self
 
+    # -- execution layout ----------------------------------------------
+    def with_shards(self, shards: int) -> "ScenarioBuilder":
+        """Partition runs across ``shards`` worker processes.
+
+        Purely an execution knob: a sharded run's ``analyze()`` output
+        is bit-identical to the serial run's (see :mod:`repro.shard`).
+        """
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        self._shards = shards
+        return self
+
     # -- leak plan overrides -------------------------------------------
     def with_leak_plan(self, plan: LeakPlan) -> "ScenarioBuilder":
         self._leak_plan = plan
@@ -404,5 +439,6 @@ class ScenarioBuilder:
             config=config,
             leak_plan=self._leak_plan,
             persona_mix=self._persona_mix,
+            shards=self._shards,
             description=self._description,
         )

@@ -97,6 +97,14 @@ class AttackerAgent:
         self._login_context: LoginContext | None = None
         self._visit_context: VisitContext | None = None
         self._machine_paced = all(p.machine_paced for p in self._policies)
+        # Resolve the connection identity eagerly, at construction.
+        # Construction order is fixed by the leak ledger (the population
+        # spawns every agent in the same order in every process), so the
+        # shared geo/anonymity streams are consumed identically whether
+        # or not this particular agent is later scheduled — lazy
+        # first-visit resolution would instead consume them in visit
+        # order, which differs between a shard and the serial run.
+        self._resolve_source_ip()
 
     @property
     def device_id(self) -> str:

@@ -188,6 +188,12 @@ class AttackerPopulation:
     persona_mix: PersonaMix | None = None
     registry: PersonaRegistry | None = None
     blacklist_registrar: Callable | None = None
+    #: When set, only agents whose target account satisfies the
+    #: predicate are scheduled on the simulator (sharded runs pass the
+    #: shard-ownership test here).  Every agent is still *built* —
+    #: profile draws, persona draws, connection identity — so the
+    #: shared RNG streams advance exactly as in an unfiltered run.
+    schedule_filter: Callable[[str], bool] | None = None
     agents: list[AttackerAgent] = field(default_factory=list)
     _agent_counter: int = 0
 
@@ -583,6 +589,13 @@ class AttackerPopulation:
         gaps = sample_return_gaps(
             self.rng, profile.visits, profile.visit_span_days
         )
-        agent.schedule(arrival, gaps)
-        self.agents.append(agent)
+        # The draws above always happen; only the scheduling is gated,
+        # so a filtered population replays an unfiltered one's RNG
+        # stream draw-for-draw.
+        if (
+            self.schedule_filter is None
+            or self.schedule_filter(event.account_address)
+        ):
+            agent.schedule(arrival, gaps)
+            self.agents.append(agent)
         return agent

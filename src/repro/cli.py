@@ -101,6 +101,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump a cProfile capture of the simulation loop to FILE "
         "(pstats format; inspect with 'python -m pstats FILE')",
     )
+    run_parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the account population across K worker "
+        "processes (bit-identical analysis; default: the scenario's "
+        "own shard count, usually 1)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for a sharded run (default: "
+        "min(shards, cpu count); 1 = run shards sequentially "
+        "in-process)",
+    )
+    run_parser.add_argument(
+        "--fingerprint", action="store_true",
+        help="print the sha256 fingerprint of the analysis output "
+        "(canonical form; equal fingerprints mean field-for-field "
+        "equal results — the sharded-equivalence smoke check in CI "
+        "compares these)",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registry scenarios, or describe one"
@@ -263,6 +282,13 @@ def _resolve_scenario(args) -> Scenario:
 
 def _command_run(args) -> int:
     scenario = _resolve_scenario(args)
+    if args.shards is not None:
+        if args.shards > 1 and (args.spill_telemetry or args.profile):
+            raise ConfigurationError(
+                "--shards cannot be combined with --spill-telemetry or "
+                "--profile (both instrument one in-process world)"
+            )
+        scenario = scenario.with_shards(args.shards)
     spilled: list = []
     monitors: list = []
 
@@ -276,6 +302,7 @@ def _command_run(args) -> int:
         scenario,
         on_built=_attach_spill if args.spill_telemetry else None,
         profile_path=args.profile,
+        jobs=args.jobs,
     )
     for monitor in monitors:
         monitor.close_spill()
@@ -284,12 +311,26 @@ def _command_run(args) -> int:
           f"(scenario={scenario.name}, seed={run.seed}, "
           f"{run.events_executed} events, "
           f"{run.events_per_second:,.0f} events/s)")
+    if run.shard_perf:
+        slowest = max(
+            s["elapsed_seconds"] for s in run.shard_perf
+        )
+        print(
+            f"sharded across {len(run.shard_perf)} workers: "
+            f"slowest shard {slowest:.1f}s, merge "
+            f"{run.perf.get('merge', 0.0):.2f}s, per-shard accounts "
+            f"{[s['owned_accounts'] for s in run.shard_perf]}"
+        )
+    if args.fingerprint:
+        from repro.analysis.fingerprint import fingerprint_digest
+
+        print(f"analysis fingerprint: {fingerprint_digest(run.analysis)}")
     if args.profile:
         print(f"wrote simulation-loop profile: {args.profile}")
     print(f"unique accesses: {stats.unique_accesses} (paper: 327)")
     print(f"emails read/sent/drafts: {stats.emails_read}/"
           f"{stats.emails_sent}/{stats.unique_drafts} "
-          f"(paper: 147/845/12)")
+          "(paper: 147/845/12)")
     print(f"blocked accounts: {stats.blocked_accounts} (paper: 42)")
     print(f"labels: {stats.label_totals}")
     for name, p_value in run.significance().items():

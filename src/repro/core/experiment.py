@@ -34,6 +34,11 @@ from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
 from repro.core.honeyaccount import HoneyAccount, HoneyAccountFactory
 from repro.core.monitor import MonitorInfrastructure
 from repro.core.records import AccountProvenance, ObservedDataset
+from repro.core.sharding import (
+    CASE_STUDY_GROUP,
+    ShardSpec,
+    pinned_account_count,
+)
 from repro.core.sinkhole import SINKHOLE_ADDRESS, SinkholeMailServer
 from repro.errors import ConfigurationError
 from repro.leaks.formats import leak_content_for, render_paste
@@ -131,9 +136,21 @@ class ExperimentResult:
     events_executed: int
     blacklisted_ips: set[str] = field(default_factory=set)
     perf: dict[str, float] = field(default_factory=dict)
+    #: All account addresses in provision (= watch) order.  In a
+    #: sharded run every shard provisions the full population, so this
+    #: is identical across shards and gives the merge step the global
+    #: interleaving order.
+    all_addresses: tuple[str, ...] = ()
+    #: Addresses this process actually observed (equal to
+    #: ``all_addresses`` for unsharded runs; possibly empty for a
+    #: surplus shard).  ``None`` only for results built before sharding
+    #: existed — e.g. direct test construction.
+    owned_addresses: tuple[str, ...] | None = None
 
     @property
     def account_count(self) -> int:
+        if self.owned_addresses is not None:
+            return len(self.owned_addresses)
         return len(self.honey_accounts)
 
 
@@ -159,13 +176,23 @@ class Experiment:
         config: ExperimentConfig | None = None,
         leak_plan: LeakPlan | None = None,
         persona_mix: "PersonaMix | None" = None,
+        shard: ShardSpec | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
         self.leak_plan = leak_plan or paper_leak_plan()
         #: Which attacker personas each outlet attracts; ``None`` keeps
         #: the population's default (the paper's calibrated mix).
         self.persona_mix = persona_mix
+        #: When set, this process simulates only the accounts the shard
+        #: owns: every account is still provisioned (and every attacker
+        #: profile drawn) so the RNG streams match the serial run, but
+        #: scan scripts, scraping, attacker visits and case studies run
+        #: only for owned accounts.  ``None`` (or a one-shard spec) is
+        #: the ordinary serial run.
+        self.shard = shard
         self.honey_accounts: list[HoneyAccount] = []
+        self.owned_accounts: list[HoneyAccount] = []
+        self._owned_set: set[str] = set()
         self.blackmail: BlackmailCampaign | None = None
         self.carding: CardingForumRegistration | None = None
         self._quota_notified: set[str] = set()
@@ -186,10 +213,18 @@ class Experiment:
         self.population: AttackerPopulation | None = None
 
     @classmethod
-    def from_scenario(cls, scenario, seed: int | None = None) -> "Experiment":
+    def from_scenario(
+        cls,
+        scenario,
+        seed: int | None = None,
+        *,
+        shard: ShardSpec | None = None,
+    ) -> "Experiment":
         """Instantiate from a :class:`repro.api.Scenario`.
 
-        ``seed`` overrides the scenario's master seed when given.
+        ``seed`` overrides the scenario's master seed when given;
+        ``shard`` restricts the run to one shard of the account
+        population (see :mod:`repro.shard`).
         """
         if seed is not None:
             scenario = scenario.with_seed(seed)
@@ -197,11 +232,16 @@ class Experiment:
             config=scenario.config,
             leak_plan=scenario.leak_plan,
             persona_mix=getattr(scenario, "persona_mix", None),
+            shard=shard,
         )
 
     @property
     def is_built(self) -> bool:
         return self._built
+
+    @property
+    def _shard_is_serial(self) -> bool:
+        return self.shard is None or self.shard.is_serial
 
     def build(self) -> "Experiment":
         """Construct the simulated world (step 1).  Idempotent."""
@@ -237,6 +277,14 @@ class Experiment:
             config=self.config.population,
             persona_mix=self.persona_mix,
             blacklist_registrar=self._register_infected_ip,
+            # Sharded runs draw every agent but schedule only their
+            # own; the ownership set is filled during provisioning,
+            # which always precedes leaking (and thus spawning).
+            schedule_filter=(
+                None
+                if self._shard_is_serial
+                else self._owned_set.__contains__
+            ),
         )
         self._built = True
         # Recorded here, not around the run()-phase call: callers (the
@@ -277,8 +325,17 @@ class Experiment:
             scan_period=self.config.scan_period,
         )
         quota_budget = self.config.quota_case_study_accounts
+        # The Section 4.7 case studies couple the leading block of
+        # paste_popular_noloc accounts to each other (one blackmail
+        # campaign walks them in order); a sharded run pins that block
+        # to shard 0 so the campaign's RNG stream replays unbroken.
+        pinned_budget = (
+            pinned_account_count(self.config.quota_case_study_accounts)
+            if self.config.enable_case_studies
+            else 0
+        )
         for group in self.leak_plan.groups:
-            for _ in range(group.size):
+            for index in range(group.size):
                 # The quota case study: a couple of paste-group accounts
                 # carry a heavier script that trips the daily quota.
                 # A heavy script exceeds the daily quota after a couple of
@@ -292,13 +349,27 @@ class Experiment:
                 cost = 40.0 if heavy else 0.005
                 if heavy:
                     quota_budget -= 1
+                pinned = (
+                    group.name == CASE_STUDY_GROUP and index < pinned_budget
+                )
+                # Provision first (the address is minted here), then
+                # decide ownership from the address; installing the
+                # scan trigger afterwards is draw-free and preserves
+                # install order, so the serial path is unchanged.
                 honey = factory.provision(
-                    group, script_execution_cost=cost
+                    group, script_execution_cost=cost, observe=False
                 )
                 self.honey_accounts.append(honey)
-                self.monitor.watch(
-                    honey.address, honey.leaked_credentials.password
+                owned = self._shard_is_serial or self.shard.owns(
+                    honey.address, pinned=pinned
                 )
+                if owned:
+                    factory.install_script(honey)
+                    self.owned_accounts.append(honey)
+                    self._owned_set.add(honey.address)
+                    self.monitor.watch(
+                        honey.address, honey.leaked_credentials.password
+                    )
         self._provisioned = True
         return self.honey_accounts
 
@@ -426,8 +497,16 @@ class Experiment:
                 )
 
     def schedule_case_studies(self) -> None:
-        """Wire the Section 4.7 case studies (step 4)."""
+        """Wire the Section 4.7 case studies (step 4).
+
+        In a sharded run the case studies execute only on shard 0 —
+        their target accounts are pinned there (see
+        :mod:`repro.core.sharding`), and their RNG streams are private,
+        so the other shards skip them without perturbing any draw.
+        """
         if not self.config.enable_case_studies:
+            return
+        if self.shard is not None and self.shard.index != 0:
             return
         self.build()
         paste_accounts = [
@@ -501,7 +580,40 @@ class Experiment:
                 str(entry.address) for entry in self.blacklist
             },
             perf=perf,
+            all_addresses=tuple(h.address for h in self.honey_accounts),
+            owned_addresses=tuple(
+                h.address
+                for h in (
+                    self.honey_accounts
+                    if self._shard_is_serial
+                    else self.owned_accounts
+                )
+            ),
         )
+
+    def run_sharded(self, shards: int, *, jobs: int | None = None):
+        """Run this experiment's configuration partitioned across
+        ``shards`` worker processes (see :mod:`repro.shard`).
+
+        Returns the merged :class:`repro.api.RunResult` — bit-identical
+        ``analyze()`` output to :meth:`run`, obtained from fresh worker
+        worlds (this instance's world, if already built, is not used).
+        """
+        from repro.api.scenario import Scenario
+        from repro.shard import run_sharded
+
+        kwargs = {}
+        if self.persona_mix is not None:
+            kwargs["persona_mix"] = self.persona_mix
+        scenario = Scenario(
+            name="adhoc",
+            config=self.config,
+            leak_plan=self.leak_plan,
+            shards=shards,
+            description="ad-hoc sharded experiment",
+            **kwargs,
+        )
+        return run_sharded(scenario, jobs=jobs)
 
     def _assemble_dataset(self) -> ObservedDataset:
         # Zero-copy handoff: the monitor's columnar telemetry stores
@@ -513,7 +625,12 @@ class Experiment:
         )
         dataset.monitor_ips = set(self.monitor.monitor_ip_strings)
         dataset.monitor_city = self.monitor.monitor_city.name
-        for honey in self.honey_accounts:
+        observed = (
+            self.honey_accounts
+            if self._shard_is_serial
+            else self.owned_accounts
+        )
+        for honey in observed:
             leak_time = self.ledger.first_leak_time(honey.address)
             dataset.provenance[honey.address] = AccountProvenance(
                 address=honey.address,
@@ -525,7 +642,7 @@ class Experiment:
                 for m in honey.account.mailbox.all_messages()
                 if m.received_at < 0  # seeded history only
             ]
-        for honey in self.honey_accounts:
+        for honey in observed:
             if honey.account.is_blocked:
                 dataset.blocked_accounts.append(
                     (honey.address, honey.account.blocked_at or 0.0)

@@ -126,8 +126,18 @@ class HoneyAccountFactory:
         group: GroupSpec,
         *,
         script_execution_cost: float = 0.005,
+        observe: bool = True,
     ) -> HoneyAccount:
-        """Create, seed, and instrument one honey account for ``group``."""
+        """Create, seed, and instrument one honey account for ``group``.
+
+        ``observe=False`` provisions the account fully — identity,
+        password, seeded mailbox, monitoring script object — but skips
+        the script's runtime installation (``script_installation_id``
+        is ``-1``).  Sharded runs use it for accounts owned by *other*
+        shards: the account must exist with exactly the RNG draws the
+        serial run spends on it (so every later draw lines up), but its
+        scan triggers must not burn simulation time in this process.
+        """
         identity = self._identity_factory.create(
             group.location_hint.home_region
         )
@@ -144,19 +154,30 @@ class HoneyAccountFactory:
             account, self._sink, execution_cost=script_execution_cost
         )
         script._cursor = cursor  # start monitoring from "now"
-        installation_id = self._runtime.install(
-            account.address,
-            script,
-            period=self._scan_period,
-            start_delay=self._scan_period,
-        )
         honey = HoneyAccount(
             identity=identity,
             account=account,
             group=group,
             script=script,
-            script_installation_id=installation_id,
+            script_installation_id=-1,
             seeded_email_count=seeded,
         )
         honey._leaked_password = password
+        if observe:
+            self.install_script(honey)
         return honey
+
+    def install_script(self, honey: HoneyAccount) -> int:
+        """Install the account's monitoring script on the runtime.
+
+        Draw-free, so callers may defer it past the provisioning loop
+        (sharded runs install only for owned accounts) without
+        perturbing any RNG stream.
+        """
+        honey.script_installation_id = self._runtime.install(
+            honey.address,
+            honey.script,
+            period=self._scan_period,
+            start_delay=self._scan_period,
+        )
+        return honey.script_installation_id

@@ -38,6 +38,7 @@ from repro.core.notifications import (
     notification_to_fields,
 )
 from repro.core.records import access_row_factory
+from repro.core.sharding import stable_hash64
 from repro.errors import (
     AccountBlockedError,
     AuthenticationError,
@@ -84,6 +85,9 @@ class _WatchedAccount:
     cursor: int = 0
     locked_out: bool = False
     blocked: bool = False
+    #: Scrape visits so far; combined with the address hash it picks
+    #: which infrastructure IP this account's next visit uses.
+    visits: int = 0
 
 
 @dataclass(frozen=True)
@@ -133,7 +137,6 @@ class MonitorInfrastructure:
         self._monitor_ips: list[IPAddress] = [
             geo.allocate_in_city(monitor_city) for _ in range(3)
         ]
-        self._ip_cursor = 0
         # LoginContext is frozen and the scraper's identity is fixed, so
         # one context per infrastructure IP serves every scrape visit.
         self._login_contexts: list[LoginContext] = [
@@ -270,14 +273,23 @@ class MonitorInfrastructure:
             sink.close()
         self._spill_sinks.clear()
 
-    def _next_context(self) -> LoginContext:
-        """The reusable login context for the next scrape visit,
-        rotating through the infrastructure IPs."""
-        context = self._login_contexts[
-            self._ip_cursor % len(self._login_contexts)
-        ]
-        self._ip_cursor += 1
-        return context
+    def _next_context(self, watched: _WatchedAccount) -> LoginContext:
+        """The reusable login context for one account's next scrape
+        visit.
+
+        Rotation is keyed on the account (stable address hash plus that
+        account's own visit count), never on a shared cursor: which IP
+        scrapes an account must not depend on how many *other* accounts
+        are being watched, or a sharded monitor would present different
+        IPs than the serial one.  All infrastructure IPs are cleaned
+        from the analysis either way; this only pins the raw rows.
+        """
+        contexts = self._login_contexts
+        index = (stable_hash64(watched.address) + watched.visits) % len(
+            contexts
+        )
+        watched.visits += 1
+        return contexts[index]
 
     def _scrape_all(self) -> None:
         now = self._sim.now
@@ -292,7 +304,7 @@ class MonitorInfrastructure:
         self.scrape_log_store.append_fields(address, now, outcome.value, count)
 
     def _scrape_one(self, watched: _WatchedAccount, now: float) -> None:
-        context = self._next_context()
+        context = self._next_context(watched)
         try:
             session = self._service.login(
                 watched.address, watched.password, context, now

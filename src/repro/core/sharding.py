@@ -1,0 +1,96 @@
+"""Deterministic account partitioning for sharded runs.
+
+A sharded run splits the honey-account population into ``count``
+disjoint shards and simulates each shard in its own worker process
+(:mod:`repro.shard`).  For the merged result to be bit-identical to the
+unsharded run, shard membership must be a pure function of the account
+— never of arrival order, process identity or hash seed — so ownership
+keys on a BLAKE2b digest of the account address.
+
+The one exception is the Section 4.7 case-study accounts: the scripted
+blackmail campaign, the carding registration and the quota notices
+couple a small block of ``paste_popular_noloc`` accounts to *each
+other* (the blackmailer walks its target list in order, consuming one
+RNG stream).  Splitting that block across shards would change the
+campaign's draw sequence, so those accounts are pinned to shard 0 as a
+unit.  :func:`pinned_account_count` computes the size of the pinned
+block from the experiment configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Accounts the blackmail campaign may target: a pool of 8 candidates
+#: plus the one carding-registration account (see
+#: ``Experiment.schedule_case_studies``).
+_CASE_STUDY_PASTE_ACCOUNTS = 9
+
+#: The leak group whose leading accounts the case studies consume.
+CASE_STUDY_GROUP = "paste_popular_noloc"
+
+
+def stable_hash64(text: str) -> int:
+    """A platform- and process-stable 64-bit hash of ``text``.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    which would scatter accounts differently on every run; BLAKE2b is
+    stable everywhere and cheap enough for per-account use.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def shard_of(address: str, count: int) -> int:
+    """The shard that owns ``address`` in a ``count``-way partition."""
+    if count < 1:
+        raise ConfigurationError("shard count must be >= 1")
+    if count == 1:
+        return 0
+    return stable_hash64(address) % count
+
+
+def pinned_account_count(quota_case_study_accounts: int) -> int:
+    """How many leading ``paste_popular_noloc`` accounts are pinned.
+
+    The quota case study instruments the first
+    ``quota_case_study_accounts`` accounts of the group with heavy
+    scripts; the blackmail/carding schedule consumes the next nine.
+    """
+    return quota_case_study_accounts + _CASE_STUDY_PASTE_ACCOUNTS
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity inside a ``count``-way partition."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        if not 0 <= self.index < self.count:
+            raise ConfigurationError(
+                f"shard index {self.index} outside [0, {self.count})"
+            )
+
+    @property
+    def is_serial(self) -> bool:
+        """A one-shard partition owns everything: the serial path."""
+        return self.count == 1
+
+    def owns(self, address: str, *, pinned: bool = False) -> bool:
+        """Whether this shard simulates ``address``.
+
+        ``pinned`` accounts (the case-study block) always belong to
+        shard 0 regardless of their hash.
+        """
+        if self.count == 1:
+            return True
+        if pinned:
+            return self.index == 0
+        return shard_of(address, self.count) == self.index

@@ -171,7 +171,7 @@ class UserAgentFactory:
         version = self._rng.choice(_BROWSER_VERSIONS["chrome"])
         return (
             f"Mozilla/5.0 (Linux; Android 5.1.1; {device}) "
-            f"AppleWebKit/537.36 (KHTML, like Gecko) "
+            "AppleWebKit/537.36 (KHTML, like Gecko) "
             f"Chrome/{version} Mobile Safari/537.36"
         )
 

@@ -1,0 +1,477 @@
+"""Sharded scenario execution: partition accounts, run, merge.
+
+The honey-account methodology is embarrassingly partitionable: each
+account's leak, visits and telemetry are independent once the shared
+build-time processes (leak venues, arrival draws, attacker profiles)
+are replayed identically everywhere.  :func:`run_sharded` exploits
+that:
+
+1. **Partition** — accounts map to shards by a stable BLAKE2b hash of
+   their address (:mod:`repro.core.sharding`); the case-study block is
+   pinned to shard 0 because the scripted campaigns couple its
+   accounts.
+2. **Run** — every shard builds the *full* world and provisions the
+   *full* account population (so every shared RNG stream advances
+   draw-for-draw as in the serial run), but installs scan scripts,
+   watches the scraper, schedules attacker visits and runs case
+   studies only for the accounts it owns.  Shards execute as
+   independent :class:`~repro.core.experiment.Experiment` runs in
+   forked workers, reusing the process-pool approach of
+   :class:`~repro.api.runner.BatchRunner`.
+3. **Merge** — the per-shard columnar stores are merged back into one
+   :class:`~repro.core.records.ObservedDataset`: strings re-interned
+   into a fresh shared table and rows re-sorted into the exact global
+   order the serial monitor would have appended them in (scrape-tick
+   interleaving for accesses, scan-tick interleaving for
+   notifications, watch order breaking ties).
+
+The contract is the one PRs 2 and 4 established for the telemetry and
+event-loop rewrites, now across process boundaries: *faster, but
+bit-identical* — ``analyze()`` over the merged dataset equals the
+serial run field for field, and :func:`dataset_mismatches` returns
+nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.api.envelope import RunResult, run_scenario
+from repro.api.scenario import Scenario
+from repro.core.experiment import Experiment
+from repro.core.records import AccountProvenance, ObservedDataset
+from repro.core.sharding import ShardSpec, shard_of, stable_hash64
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ShardRun",
+    "ShardSpec",
+    "dataset_mismatches",
+    "merge_shard_runs",
+    "run_sharded",
+    "shard_of",
+    "stable_hash64",
+]
+
+
+@dataclass
+class ShardRun:
+    """Everything one shard worker sends back to the coordinator.
+
+    Picklable: the dataset rides on the compact columnar pickle path,
+    the live world stays in the worker.
+    """
+
+    spec: ShardSpec
+    dataset: ObservedDataset
+    events_executed: int
+    blacklisted_ips: set[str]
+    perf: dict[str, float]
+    elapsed_seconds: float
+    #: Full population in provision (= watch) order; identical across
+    #: shards and the source of the merge interleaving order.
+    all_addresses: tuple[str, ...]
+    #: The subset this shard simulated and observed.
+    owned_addresses: tuple[str, ...]
+
+
+def _execute_shard(task: tuple[str, int, int]) -> ShardRun:
+    """Run one shard of a serialized scenario.
+
+    Module-level so process pools can pickle it; the in-process path
+    calls it too, guaranteeing identical execution either way (the
+    same property :class:`~repro.api.runner.BatchRunner` relies on).
+    """
+    scenario_json, index, count = task
+    scenario = Scenario.from_json(scenario_json)
+    spec = ShardSpec(index=index, count=count)
+    started = time.perf_counter()
+    experiment = Experiment.from_scenario(scenario, shard=spec)
+    result = experiment.run()
+    elapsed = time.perf_counter() - started
+    return ShardRun(
+        spec=spec,
+        dataset=result.dataset,
+        events_executed=result.events_executed,
+        blacklisted_ips=set(result.blacklisted_ips),
+        perf=dict(result.perf),
+        elapsed_seconds=elapsed,
+        all_addresses=result.all_addresses,
+        owned_addresses=result.owned_addresses,
+    )
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+def _access_ticks(timestamps: list[float], period: float) -> list[int]:
+    """Scrape-tick indices at which one account's rows were ingested.
+
+    An activity event lands in the access store at the first scrape
+    tick at or after the moment it was *recorded on the page* —
+    ``ceil(timestamp / period)`` for everything recorded live (the
+    scraper's own login rows carry the tick time itself, which ceil
+    maps back to that tick).  The exception is the sandbox campaign:
+    it writes its login rows during world build with *future*
+    timestamps, so they sit at the head of the page and drain at the
+    account's first scrape.  Page order makes ingestion ticks monotone
+    non-decreasing, and every successful scrape appends the scraper's
+    own row, so a right-to-left running minimum of the ceil ticks
+    recovers the true ingestion tick for those future-stamped rows.
+    """
+    ticks = [math.ceil(ts / period) for ts in timestamps]
+    for i in range(len(ticks) - 2, -1, -1):
+        if ticks[i + 1] < ticks[i]:
+            ticks[i] = ticks[i + 1]
+    return ticks
+
+
+def _string_remaps(target_strings, shard_runs: list["ShardRun"]):
+    """Per-shard id translation tables into the merged string table.
+
+    Each shard's three stores share one interning table (the monitor
+    wires them that way), so one pass over that table per shard
+    re-interns every distinct string exactly once; column merging then
+    copies raw ids through ``remap`` without materialising any row.
+    Remaps are built in shard order, so the merged table's id
+    assignment is deterministic.
+    """
+    intern = target_strings.intern
+    remaps = []
+    for run in shard_runs:
+        table = run.dataset.access_store.strings
+        remaps.append(
+            [intern(table.lookup(i)) for i in range(len(table))]
+        )
+    return remaps
+
+
+def _merge_columns(target, sources, order, remaps) -> None:
+    """Fill ``target``'s columns with the globally ordered rows.
+
+    ``order`` is the merged row order as ``(shard, row)`` pairs;
+    ``remaps`` translates each shard's string ids into the target
+    table.  Works column-at-a-time on the raw arrays — no row tuples,
+    no per-value interning — which keeps the merge a small fraction of
+    one shard's simulate phase even at hundreds of thousands of rows.
+    """
+    for field in target.schema:
+        column = target.column(field.name)
+        shard_columns = [source.column(field.name) for source in sources]
+        if field.kind == "intern":
+            ids = [col.ids for col in shard_columns]
+            column.ids.extend(
+                [remaps[s][ids[s][r]] for s, r in order]
+            )
+        elif field.kind == "opt_f64":
+            data = [col.data for col in shard_columns]
+            mask = [col.mask for col in shard_columns]
+            column.data.extend([data[s][r] for s, r in order])
+            column.mask.extend([mask[s][r] for s, r in order])
+        else:  # f64, i64, obj — raw payloads copy through
+            data = [col.data for col in shard_columns]
+            column.data.extend([data[s][r] for s, r in order])
+
+
+def merge_shard_runs(
+    scenario: Scenario, shard_runs: list[ShardRun]
+) -> tuple[ObservedDataset, dict]:
+    """Merge per-shard datasets into one, in serial append order.
+
+    Returns the merged dataset plus merge diagnostics (row counts and
+    wall-clock).  Raises :class:`ConfigurationError` when the shards
+    disagree about the population or overlap in ownership — either
+    means the partition itself is broken.
+    """
+    started = time.perf_counter()
+    if not shard_runs:
+        raise ConfigurationError("cannot merge zero shard runs")
+    shard_runs = sorted(shard_runs, key=lambda run: run.spec.index)
+    reference = shard_runs[0].all_addresses
+    for run in shard_runs[1:]:
+        if run.all_addresses != reference:
+            raise ConfigurationError(
+                "shards disagree about the account population "
+                f"(shard {run.spec.index} vs shard "
+                f"{shard_runs[0].spec.index})"
+            )
+    watch_index = {address: i for i, address in enumerate(reference)}
+    owner: dict[str, ShardRun] = {}
+    for run in shard_runs:
+        for address in run.owned_addresses:
+            if address in owner:
+                raise ConfigurationError(
+                    f"account {address!r} owned by two shards"
+                )
+            owner[address] = run
+    missing = [address for address in reference if address not in owner]
+    if missing:
+        raise ConfigurationError(
+            f"{len(missing)} accounts owned by none of the given "
+            f"shards (first: {missing[0]!r}) — a shard run is missing"
+        )
+
+    scrape_period = scenario.config.scrape_period
+    merged = ObservedDataset()
+    remaps = _string_remaps(merged.access_store.strings, shard_runs)
+
+    # Access rows interleave at scrape ticks (a per-account property:
+    # the running minimum in _access_ticks needs each account's page
+    # order, and every account's rows live in exactly one shard, in
+    # page order).  Sort keys carry (shard, row) so ties keep the
+    # per-account order and the sort is fully deterministic.
+    access_keys: list[tuple] = []
+    for s, run in enumerate(shard_runs):
+        store = run.dataset.access_store
+        lookup = store.strings.lookup
+        timestamps = store.timestamps
+        rows_by_account: dict[int, list[int]] = {}
+        for r, account_id in enumerate(store.account_ids):
+            rows_by_account.setdefault(account_id, []).append(r)
+        for account_id, row_ids in rows_by_account.items():
+            index = watch_index[lookup(account_id)]
+            ticks = _access_ticks(
+                [timestamps[r] for r in row_ids], scrape_period
+            )
+            access_keys.extend(
+                (tick, index, s, r) for tick, r in zip(ticks, row_ids)
+            )
+    access_keys.sort()
+    _merge_columns(
+        merged.access_store,
+        [run.dataset.access_store for run in shard_runs],
+        [(s, r) for _, _, s, r in access_keys],
+        remaps,
+    )
+
+    # Notifications and scrape failures carry their tick time directly
+    # (scripts report at scan ticks, lockouts at scrape ticks); watch
+    # order breaks same-tick ties exactly as the serial loops do.
+    notification_keys: list[tuple] = []
+    for s, run in enumerate(shard_runs):
+        store = run.dataset.notification_store
+        lookup = store.strings.lookup
+        timestamps = store.timestamps
+        notification_keys.extend(
+            (timestamps[r], watch_index[lookup(account_id)], s, r)
+            for r, account_id in enumerate(store.account_ids)
+        )
+    notification_keys.sort()
+    _merge_columns(
+        merged.notification_store,
+        [run.dataset.notification_store for run in shard_runs],
+        [(s, r) for _, _, s, r in notification_keys],
+        remaps,
+    )
+
+    failure_keys: list[tuple] = []
+    for s, run in enumerate(shard_runs):
+        log = run.dataset.failure_log
+        lookup = log.strings.lookup
+        timestamps = log.column("timestamp").data
+        failure_keys.extend(
+            (timestamps[r], watch_index[lookup(address_id)], s, r)
+            for r, address_id in enumerate(log.column("address").ids)
+        )
+    failure_keys.sort()
+    _merge_columns(
+        merged.failure_log,
+        [run.dataset.failure_log for run in shard_runs],
+        [(s, r) for _, _, s, r in failure_keys],
+        remaps,
+    )
+
+    # Account-keyed fields rebuild in watch order from the owner shard,
+    # which is exactly the order the serial assembly walks accounts in.
+    merged.monitor_city = shard_runs[0].dataset.monitor_city
+    for run in shard_runs:
+        merged.monitor_ips |= run.dataset.monitor_ips
+    for address in reference:
+        run = owner[address]
+        provenance = run.dataset.provenance.get(address)
+        if provenance is not None:
+            merged.provenance[address] = AccountProvenance(
+                address=address,
+                group=provenance.group,
+                leak_time=provenance.leak_time,
+            )
+        texts = run.dataset.all_email_texts.get(address)
+        if texts is not None:
+            merged.all_email_texts[address] = list(texts)
+    blocked: dict[str, float] = {}
+    for run in shard_runs:
+        for address, blocked_at in run.dataset.blocked_accounts:
+            blocked[address] = blocked_at
+    merged.blocked_accounts = [
+        (address, blocked[address])
+        for address in reference
+        if address in blocked
+    ]
+    for run in shard_runs:
+        merged.ground_truth_personas.update(
+            run.dataset.ground_truth_personas
+        )
+
+    diagnostics = {
+        "access_rows": len(access_keys),
+        "notification_rows": len(notification_keys),
+        "failure_rows": len(failure_keys),
+        "merge_seconds": round(time.perf_counter() - started, 6),
+    }
+    return merged, diagnostics
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_sharded(
+    scenario: Scenario,
+    *,
+    shards: int | None = None,
+    jobs: int | None = None,
+    seed: int | None = None,
+) -> RunResult:
+    """Run ``scenario`` across ``shards`` workers and merge the result.
+
+    Args:
+        shards: partition size; defaults to the scenario's ``shards``
+            field.  ``1`` falls through to the ordinary serial
+            :func:`~repro.api.envelope.run_scenario`.
+        jobs: worker processes; defaults to ``min(shards, cpu_count)``.
+            ``1`` runs the shards sequentially in this process — same
+            result, no pool (useful for tests and debugging).
+        seed: master-seed override, as in ``Scenario.run``.
+
+    The returned :class:`RunResult` carries the merged dataset, the
+    union of blacklist snapshots, summed event counts, critical-path
+    ``perf`` phases (the per-phase *maximum* across shards — what an
+    idealised K-worker pool pays) and the full per-shard breakdown in
+    ``shard_perf``.
+    """
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+    if shards is None:
+        shards = scenario.shards
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if shards == 1:
+        # Force the scenario serial too: run_scenario dispatches
+        # shards > 1 scenarios back here, so an explicit shards=1
+        # override must not leave the field set.
+        return run_scenario(scenario.with_shards(1))
+    # Workers re-read the shard count from the serialized scenario;
+    # keep the two in sync even when ``shards`` came in as an override.
+    if scenario.shards != shards:
+        scenario = scenario.with_shards(shards)
+    started = time.perf_counter()
+    serialized = scenario.to_json()
+    tasks = [(serialized, index, shards) for index in range(shards)]
+    if jobs is None:
+        jobs = min(shards, os.cpu_count() or 1)
+    if jobs <= 1:
+        shard_runs = [_execute_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, shards)) as pool:
+            shard_runs = list(pool.map(_execute_shard, tasks))
+    dataset, diagnostics = merge_shard_runs(scenario, shard_runs)
+    elapsed = time.perf_counter() - started
+
+    phases = sorted({name for run in shard_runs for name in run.perf})
+    perf = {
+        name: round(
+            max(run.perf.get(name, 0.0) for run in shard_runs), 6
+        )
+        for name in phases
+    }
+    perf["merge"] = diagnostics["merge_seconds"]
+    shard_perf = [
+        {
+            "shard": run.spec.index,
+            "shards": run.spec.count,
+            "owned_accounts": len(run.owned_addresses),
+            "events_executed": run.events_executed,
+            "elapsed_seconds": round(run.elapsed_seconds, 6),
+            "phases": dict(run.perf),
+        }
+        for run in shard_runs
+    ]
+    blacklisted: set[str] = set()
+    for run in shard_runs:
+        blacklisted |= run.blacklisted_ips
+    return RunResult(
+        scenario=scenario,
+        seed=scenario.seed,
+        dataset=dataset,
+        config=scenario.config,
+        events_executed=sum(run.events_executed for run in shard_runs),
+        blacklisted_ips=blacklisted,
+        account_count=len(shard_runs[0].all_addresses),
+        elapsed_seconds=elapsed,
+        perf=perf,
+        shard_perf=shard_perf,
+    )
+
+
+# ----------------------------------------------------------------------
+# equivalence oracle
+# ----------------------------------------------------------------------
+def dataset_mismatches(
+    expected: ObservedDataset, actual: ObservedDataset
+) -> list[str]:
+    """Field-for-field comparison of two datasets; empty means equal.
+
+    Compares decoded *rows* (append order included), never raw column
+    ids: two stores that interned strings in different orders but hold
+    the same rows are equal.  This is the sharded-vs-serial oracle —
+    tests and the shard benchmark gate both call it.
+    """
+    mismatches: list[str] = []
+
+    def compare_rows(name: str, a, b) -> None:
+        if len(a) != len(b):
+            mismatches.append(
+                f"{name}: {len(a)} rows vs {len(b)} rows"
+            )
+            return
+        for i in range(len(a)):
+            if a.row(i) != b.row(i):
+                mismatches.append(
+                    f"{name}: first divergence at row {i}: "
+                    f"{a.row(i)!r} != {b.row(i)!r}"
+                )
+                return
+
+    compare_rows(
+        "accesses", expected.access_store, actual.access_store
+    )
+    compare_rows(
+        "notifications",
+        expected.notification_store,
+        actual.notification_store,
+    )
+    compare_rows(
+        "scrape_failures", expected.failure_log, actual.failure_log
+    )
+    if list(expected.provenance) != list(actual.provenance):
+        mismatches.append("provenance: account order differs")
+    else:
+        for address, left in expected.provenance.items():
+            right = actual.provenance[address]
+            if (left.group, left.leak_time) != (
+                right.group,
+                right.leak_time,
+            ):
+                mismatches.append(f"provenance[{address}] differs")
+                break
+    for name in ("monitor_ips", "monitor_city", "blocked_accounts"):
+        if getattr(expected, name) != getattr(actual, name):
+            mismatches.append(f"{name} differs")
+    if expected.all_email_texts != actual.all_email_texts:
+        mismatches.append("all_email_texts differs")
+    if expected.ground_truth_personas != actual.ground_truth_personas:
+        mismatches.append("ground_truth_personas differs")
+    return mismatches

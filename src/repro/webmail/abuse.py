@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.sim.rng import derive_seed
 from repro.webmail.account import WebmailAccount
 
 
@@ -73,12 +74,34 @@ class AbusePolicy:
 
 @dataclass
 class AntiAbuseEngine:
-    """Scores sending behaviour and suspends violating accounts."""
+    """Scores sending behaviour and suspends violating accounts.
+
+    Enforcement draws come from a per-account stream derived from the
+    engine's seed, consumed in that account's own event order.  Whether
+    an account gets blocked therefore depends only on what happened *on
+    that account* — not on how its events interleave with other
+    accounts' — which is the property that keeps a sharded run
+    (:mod:`repro.core.sharding`) bit-identical to the serial one.
+    """
 
     policy: AbusePolicy
     rng: random.Random
     _send_times: dict[str, list[float]] = field(default_factory=dict)
     blocked_accounts: list[str] = field(default_factory=list)
+    _seed: int = field(init=False)
+    _account_rngs: dict[str, random.Random] = field(
+        init=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._seed = self.rng.getrandbits(64)
+
+    def _rng_for(self, address: str) -> random.Random:
+        rng = self._account_rngs.get(address)
+        if rng is None:
+            rng = random.Random(derive_seed(self._seed, address))
+            self._account_rngs[address] = rng
+        return rng
 
     def _within_window(self, address: str, now: float) -> int:
         times = self._send_times.setdefault(address, [])
@@ -101,7 +124,9 @@ class AntiAbuseEngine:
         times.extend([now] * max(1, recipient_count))
         in_window = self._within_window(account.address, now)
         if in_window >= self.policy.burst_threshold:
-            if self.rng.random() < self.policy.spam_block_probability:
+            if self._rng_for(account.address).random() < (
+                self.policy.spam_block_probability
+            ):
                 self._block(account, "spam-burst", now)
                 return True
         return False
@@ -112,7 +137,9 @@ class AntiAbuseEngine:
         """Record a password change; may trigger hijack enforcement."""
         if account.is_blocked:
             return True
-        if self.rng.random() < self.policy.hijack_block_probability:
+        if self._rng_for(account.address).random() < (
+            self.policy.hijack_block_probability
+        ):
             self._block(account, "hijack-activity", now)
             return True
         return False
@@ -134,12 +161,14 @@ class AntiAbuseEngine:
         if account.is_blocked:
             return True
         if blacklisted_ip and (
-            self.rng.random() < self.policy.blacklisted_login_block_probability
+            self._rng_for(account.address).random()
+            < self.policy.blacklisted_login_block_probability
         ):
             self._block(account, "blacklisted-ip-activity", now)
             return True
         if anonymised and (
-            self.rng.random() < self.policy.tor_login_block_probability
+            self._rng_for(account.address).random()
+            < self.policy.tor_login_block_probability
         ):
             self._block(account, "anonymised-abuse", now)
             return True
@@ -151,7 +180,9 @@ class AntiAbuseEngine:
         """Score a sensitive-term search session (gold-digger behaviour)."""
         if account.is_blocked:
             return True
-        if self.rng.random() < self.policy.search_abuse_block_probability:
+        if self._rng_for(account.address).random() < (
+            self.policy.search_abuse_block_probability
+        ):
             self._block(account, "behavioural-anomaly", now)
             return True
         return False

@@ -54,12 +54,20 @@ class WebmailAccount:
     display_name: str
     mailbox: Mailbox = field(default_factory=Mailbox)
     state: AccountState = AccountState.ACTIVE
+    # (mailbox owner tag is bound to the address in __post_init__)
     send_from_override: str | None = None
     suspicious_login_filter: bool = True
     blocked_reason: str | None = None
     blocked_at: float | None = None
     password_changed_at: float | None = None
     password_change_count: int = 0
+
+    def __post_init__(self) -> None:
+        # Message ids minted by this account's mailbox carry the
+        # address, keeping them unique across accounts and independent
+        # of every other account's activity.
+        if self.mailbox.owner == "local":
+            self.mailbox.owner = self.credentials.address
 
     @property
     def address(self) -> str:

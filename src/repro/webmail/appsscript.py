@@ -16,7 +16,7 @@ provider, stops them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.errors import QuotaExceededError, ConfigurationError

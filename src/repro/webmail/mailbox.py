@@ -40,8 +40,20 @@ class MailboxChange:
 
 @dataclass
 class Mailbox:
-    """All messages of one account, organised by folder."""
+    """All messages of one account, organised by folder.
 
+    The mailbox mints message ids: the first time a message is filed
+    anywhere, it gets ``msg-<owner>-<n>`` from this mailbox's own
+    counter.  Ids are therefore a function of the owning account's
+    filing history alone — two runs that file the same messages into an
+    account in the same order agree on every id, regardless of what any
+    *other* account did in between (the property sharded runs rely on).
+    """
+
+    #: Tag baked into minted ids (the account address; set by
+    #: :class:`~repro.webmail.account.WebmailAccount`).  The default
+    #: keeps bare ``Mailbox()`` construction working in tests.
+    owner: str = "local"
     _folders: dict[Folder, list[EmailMessage]] = field(
         default_factory=lambda: {folder: [] for folder in Folder}
     )
@@ -49,6 +61,7 @@ class Mailbox:
         default_factory=dict
     )
     _changelog: list[MailboxChange] = field(default_factory=list)
+    _minted: int = 0
 
     # ------------------------------------------------------------------
     # storage
@@ -60,7 +73,15 @@ class Mailbox:
     }
 
     def add(self, folder: Folder, message: EmailMessage) -> EmailMessage:
-        """File ``message`` under ``folder`` and index it by id."""
+        """File ``message`` under ``folder`` and index it by id.
+
+        Messages without an id (freshly constructed) are assigned one
+        from this mailbox's counter; messages already filed elsewhere
+        (e.g. a send delivered to several recipients) keep theirs.
+        """
+        if not message.message_id:
+            self._minted += 1
+            message.message_id = f"msg-{self.owner}-{self._minted:06d}"
         self._folders[folder].append(message)
         self._index[message.message_id] = (folder, message)
         kind = self._ADD_CHANGE_KINDS.get(folder)

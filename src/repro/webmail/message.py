@@ -1,15 +1,16 @@
-"""Email messages as stored by the webmail service."""
+"""Email messages as stored by the webmail service.
+
+Message ids are minted by the :class:`~repro.webmail.mailbox.Mailbox`
+that first files a message (per-mailbox counters, tagged with the
+mailbox owner), *not* by a process-global counter: ids must be a
+function of the owning account's history alone so that sharded runs
+(:mod:`repro.core.sharding`) reproduce the serial run's ids exactly.
+A message constructed but never filed keeps an empty id.
+"""
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-
-_message_counter = itertools.count(1)
-
-
-def _next_message_id() -> str:
-    return f"msg-{next(_message_counter):08d}"
 
 
 @dataclass
@@ -40,7 +41,9 @@ class EmailMessage:
     received_at: float
     labels: set[str] = field(default_factory=set)
     flags: MessageFlags = field(default_factory=MessageFlags)
-    message_id: str = field(default_factory=_next_message_id)
+    #: Assigned by the first mailbox that files the message; empty until
+    #: then (and for messages that never reach a mailbox).
+    message_id: str = ""
 
     @property
     def text(self) -> str:

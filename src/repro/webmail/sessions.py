@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import SessionError
+from repro.sim.rng import derive_seed
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,7 +49,14 @@ class Session:
 
 @dataclass
 class SessionManager:
-    """Mints cookies and tracks sessions for the provider."""
+    """Mints cookies and tracks sessions for the provider.
+
+    Cookie values are a pure function of the manager's seed and the
+    (device, account) pair — *not* of the order devices first log in.
+    That order-independence is what lets a sharded run (each shard sees
+    only its accounts' logins) mint exactly the cookies the unsharded
+    run mints; see :mod:`repro.core.sharding`.
+    """
 
     rng: random.Random
     _device_cookies: dict[tuple[str, str], Cookie] = field(
@@ -58,16 +66,28 @@ class SessionManager:
     _counter: itertools.count = field(
         default_factory=lambda: itertools.count(1)
     )
+    _cookie_seed: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        # One draw at construction (a fixed point in the service build
+        # sequence) anchors all minting; every cookie then derives from
+        # this seed plus its own (device, account) path.
+        self._cookie_seed = self.rng.getrandbits(64)
 
     def cookie_for(self, device_id: str, account_address: str) -> Cookie:
         """The stable cookie for a (device, account) pair, minting once."""
         key = (device_id, account_address)
-        if key not in self._device_cookies:
-            token = "".join(
-                self.rng.choice("abcdef0123456789") for _ in range(24)
+        cookie = self._device_cookies.get(key)
+        if cookie is None:
+            mint = random.Random(
+                derive_seed(self._cookie_seed, device_id, account_address)
             )
-            self._device_cookies[key] = Cookie(f"ck-{token}")
-        return self._device_cookies[key]
+            token = "".join(
+                mint.choice("abcdef0123456789") for _ in range(24)
+            )
+            cookie = Cookie(f"ck-{token}")
+            self._device_cookies[key] = cookie
+        return cookie
 
     def minted_cookies(self) -> dict[tuple[str, str], Cookie]:
         """Every cookie minted so far, keyed by (device, account).

@@ -1,122 +1,13 @@
-"""Canonical fingerprinting of :class:`AnalysisResults` for golden tests.
+"""Golden-test fingerprinting helpers (re-exported from the package).
 
-The persona-API refactor (and any future attacker-layer rework) must
-leave the ``paper_default`` analysis output bit-for-bit unchanged.  To
-pin that, :func:`analysis_fingerprint` reduces every Section 4 analysis
-field to a canonical, platform-stable JSON form and hashes it; the
-golden file ``tests/golden/paper_default_analysis.json`` stores the
-hashes (plus human-readable headline numbers) captured from the
-pre-refactor code.  Regenerate with::
-
-    PYTHONPATH=src:tests python tests/golden/generate_paper_default_golden.py
-
-Only regenerate when an *intentional* behaviour change to the paper
-path has been accepted — the whole point of the file is to make such
-changes loud.
+The canonicalizer moved to :mod:`repro.analysis.fingerprint` when the
+sharded runner and the CLI ``--fingerprint`` flag started needing it at
+runtime; this module keeps the historical test-side import path.
 """
 
-from __future__ import annotations
-
-import dataclasses
-import enum
-import hashlib
-import json
-
-#: The analysis fields pinned by the golden fingerprint.  This is the
-#: pre-persona-refactor field set on purpose: new fields (for example
-#: ground-truth persona reports) may be added to ``AnalysisResults``
-#: without invalidating the pin, but none of these may change.
-GOLDEN_FIELDS = (
-    "unique_accesses",
-    "classified",
-    "label_totals",
-    "outlet_distribution",
-    "durations_by_label",
-    "delays_by_outlet",
-    "delays_by_group",
-    "timeline_by_outlet",
-    "circles_uk",
-    "circles_us",
-    "distances_uk",
-    "distances_us",
-    "keywords",
-    "emails_read",
-    "emails_sent",
-    "unique_drafts",
-    "located_accesses",
-    "unlocated_accesses",
-    "countries",
-    "scan_period",
+from repro.analysis.fingerprint import (  # noqa: F401
+    FINGERPRINT_FIELDS as GOLDEN_FIELDS,
+    analysis_fingerprint,
+    canonicalize,
+    field_digest,
 )
-
-
-def canonicalize(value):
-    """Reduce ``value`` to JSON-safe data with deterministic ordering.
-
-    Floats are rounded to 10 significant digits: the TF-IDF pipeline
-    sums over hash-ordered string sets, so its float outputs differ in
-    the last ulp between processes (PYTHONHASHSEED); 10 digits is far
-    below any behavioural change while stable across runs.  Sets are
-    sorted by their canonical JSON encoding; dict items are sorted the
-    same way, so enum keys and string keys both order
-    deterministically.
-    """
-    if isinstance(value, enum.Enum):
-        return canonicalize(value.value)
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            "__type__": type(value).__name__,
-            **{
-                f.name: canonicalize(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            },
-        }
-    if isinstance(value, float):
-        return {"__float__": f"{value:.10g}"}
-    if isinstance(value, (set, frozenset)):
-        items = [canonicalize(item) for item in value]
-        return {"__set__": sorted(items, key=_sort_key)}
-    if isinstance(value, dict):
-        items = [
-            (canonicalize(key), canonicalize(item))
-            for key, item in value.items()
-        ]
-        return {"__dict__": sorted(items, key=lambda kv: _sort_key(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [canonicalize(item) for item in value]
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    raise TypeError(f"cannot canonicalize {type(value).__name__}")
-
-
-def _sort_key(canonical) -> str:
-    return json.dumps(canonical, sort_keys=True)
-
-
-def field_digest(analysis, name: str) -> str:
-    """The sha256 hex digest of one canonicalized analysis field."""
-    canonical = canonicalize(getattr(analysis, name))
-    encoded = json.dumps(canonical, sort_keys=True).encode()
-    return hashlib.sha256(encoded).hexdigest()
-
-
-def analysis_fingerprint(analysis) -> dict:
-    """Per-field digests plus headline numbers for readable diffs."""
-    return {
-        "fields": {name: field_digest(analysis, name) for name in GOLDEN_FIELDS},
-        "headline": {
-            "unique_accesses": analysis.total_unique_accesses,
-            "emails_read": analysis.emails_read,
-            "emails_sent": analysis.emails_sent,
-            "unique_drafts": analysis.unique_drafts,
-            "label_totals": {
-                label.value: count
-                for label, count in sorted(
-                    analysis.label_totals.items(), key=lambda kv: kv[0].value
-                )
-            },
-            "located_accesses": analysis.located_accesses,
-            "unlocated_accesses": analysis.unlocated_accesses,
-            "countries": sorted(analysis.countries),
-        },
-    }

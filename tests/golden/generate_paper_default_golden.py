@@ -50,7 +50,7 @@ def main() -> int:
         payload["runs"][str(seed)] = fingerprint
         print(
             f"seed {seed}: {fingerprint['headline']['unique_accesses']} "
-            f"unique accesses, labels "
+            "unique accesses, labels "
             f"{fingerprint['headline']['label_totals']}"
         )
     OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,6 +1,5 @@
 """Tests for repro.analysis.accesses and taxonomy on synthetic datasets."""
 
-import pytest
 
 from repro.analysis.accesses import (
     clean_accesses,

@@ -1,6 +1,5 @@
 """Tests for repro.analysis.report and figures (consistency checks)."""
 
-import pytest
 
 from repro.analysis.figures import (
     ascii_cdf,

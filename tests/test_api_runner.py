@@ -7,7 +7,6 @@ import pytest
 from repro.api import (
     BatchRunner,
     RunResult,
-    Scenario,
     aggregate_runs,
     run_scenario,
     scenarios,

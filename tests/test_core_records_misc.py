@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.groups import LocationHint, paper_leak_plan
 from repro.core.notifications import (

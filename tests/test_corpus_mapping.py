@@ -1,6 +1,5 @@
 """Tests for repro.corpus.mapping."""
 
-import random
 from datetime import datetime, timezone
 
 import pytest

@@ -1,6 +1,5 @@
 """Cross-cutting invariants: determinism, ethics, observed-data hygiene."""
 
-from repro.analysis.dataset import analyze
 from repro.core.experiment import Experiment, ExperimentConfig
 from repro.core.groups import OutletKind
 from repro.sim.clock import days

@@ -16,7 +16,6 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import overview, significance_tests
 from repro.analysis.taxonomy import TaxonomyLabel
-from repro.sim.clock import days
 
 
 @pytest.fixture(scope="module")

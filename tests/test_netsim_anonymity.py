@@ -1,6 +1,5 @@
 """Tests for repro.netsim.anonymity and blacklist and fingerprint."""
 
-import random
 
 import pytest
 

@@ -24,7 +24,6 @@ from repro.telemetry import (
     NotificationStore,
     OnlineStats,
     RowView,
-    ScrapeFailureLog,
     StreamingECDF,
     StringTable,
     read_jsonl,

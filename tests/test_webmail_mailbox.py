@@ -28,8 +28,38 @@ class TestStorage:
         assert mailbox.folder_of(message.message_id) is Folder.INBOX
 
     def test_unique_message_ids(self):
-        ids = {make_message().message_id for _ in range(100)}
+        # Ids are minted by the mailbox that first files a message, so
+        # a freshly constructed message has none; filing 100 messages
+        # yields 100 distinct per-mailbox ids.
+        assert make_message().message_id == ""
+        mailbox = Mailbox()
+        ids = {
+            mailbox.add(Folder.INBOX, make_message()).message_id
+            for _ in range(100)
+        }
         assert len(ids) == 100
+
+    def test_ids_are_per_mailbox_and_owner_tagged(self):
+        # Two mailboxes mint independent sequences: what one account
+        # files never shifts another account's ids (shard stability).
+        a = Mailbox(owner="a@x.example")
+        b = Mailbox(owner="b@x.example")
+        first_a = a.add(Folder.INBOX, make_message()).message_id
+        for _ in range(5):
+            a.add(Folder.INBOX, make_message())
+        first_b = b.add(Folder.INBOX, make_message()).message_id
+        assert first_a == "msg-a@x.example-000001"
+        assert first_b == "msg-b@x.example-000001"
+
+    def test_filed_message_keeps_its_id(self):
+        # A message delivered to a second mailbox keeps the id the
+        # first one minted.
+        a = Mailbox(owner="a@x.example")
+        b = Mailbox(owner="b@x.example")
+        message = a.add(Folder.SENT, make_message())
+        b.add(Folder.INBOX, message)
+        assert message.message_id == "msg-a@x.example-000001"
+        assert b.get(message.message_id) is message
 
     def test_unknown_id(self):
         with pytest.raises(NoSuchMessageError):

@@ -11,7 +11,7 @@ from repro.netsim.cities import city_by_name
 from repro.webmail.account import Credentials
 from repro.webmail.mailbox import Folder
 from repro.webmail.message import EmailMessage
-from repro.webmail.service import LoginContext, WebmailService
+from repro.webmail.service import LoginContext
 
 PASSWORD = "hunter2hunter2"
 
