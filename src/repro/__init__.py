@@ -68,6 +68,7 @@ from repro.api import (
     AggregateStats,
     BatchResult,
     BatchRunner,
+    FailedRun,
     Persona,
     PersonaMix,
     RunResult,
@@ -86,6 +87,7 @@ from repro.core.experiment import (
 )
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
 from repro.perf import PhaseTimer, capture_profile, peak_rss_kb
+from repro.sweeps import JobSpec, ResultsStore, SweepManager
 from repro.telemetry import (
     EventLog,
     JsonlSink,
@@ -105,6 +107,8 @@ __all__ = [
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "FailedRun",
+    "JobSpec",
     "JsonlSink",
     "LeakPlan",
     "OutletKind",
@@ -112,6 +116,7 @@ __all__ = [
     "Persona",
     "PersonaMix",
     "PhaseTimer",
+    "ResultsStore",
     "RowView",
     "RunResult",
     "Scenario",
@@ -119,6 +124,7 @@ __all__ = [
     "SignificanceTests",
     "StreamingECDF",
     "StringTable",
+    "SweepManager",
     "__version__",
     "analyze",
     "analyze_experiment",

@@ -38,6 +38,7 @@ from repro.api.runner import (
     AggregateStats,
     BatchResult,
     BatchRunner,
+    FailedRun,
     MetricSummary,
     aggregate_runs,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "AggregateStats",
     "BatchResult",
     "BatchRunner",
+    "FailedRun",
     "MetricSummary",
     "Persona",
     "PersonaMix",

@@ -17,6 +17,7 @@ the paper's single 7-month run.
 from __future__ import annotations
 
 import statistics
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -48,6 +49,42 @@ def _execute_task(task: tuple[str, int]) -> RunResult:
     scenario_json, seed = task
     scenario = Scenario.from_json(scenario_json)
     return run_scenario(scenario, seed=seed)
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """One (scenario, seed) task that raised instead of producing a run.
+
+    Captured by the batch/sweep machinery so a single bad cell cannot
+    abort a long sweep and discard every completed sibling; the error
+    string and formatted traceback survive process boundaries (the
+    original exception object may not pickle).
+    """
+
+    scenario_name: str
+    seed: int
+    error: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, scenario_name: str, seed: int, exc: BaseException
+    ) -> "FailedRun":
+        return cls(
+            scenario_name=scenario_name,
+            seed=seed,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario_name,
+            "seed": self.seed,
+            "error": self.error,
+        }
 
 
 @dataclass(frozen=True)
@@ -102,7 +139,9 @@ class AggregateStats:
             f"{self.scenario_name} over seeds "
             f"{', '.join(str(s) for s in self.seeds)}:"
         ]
-        width = max(len(name) for name in self.metrics)
+        # An aggregate can legitimately carry no metrics (e.g. built
+        # from a custom metric list); the header still prints.
+        width = max((len(name) for name in self.metrics), default=0)
         for name, summary in self.metrics.items():
             lines.append(
                 f"  {name:<{width}}  mean={summary.mean:9.2f}  "
@@ -149,12 +188,22 @@ def aggregate_runs(runs: Sequence[RunResult]) -> AggregateStats:
 
 @dataclass
 class BatchResult:
-    """Every run of a batch plus lazily-computed per-scenario aggregates."""
+    """Every run of a batch plus lazily-computed per-scenario aggregates.
+
+    ``failures`` lists the tasks that raised instead of completing
+    (empty for a clean batch — and always empty under ``strict=True``,
+    which re-raises instead of capturing).
+    """
 
     runs: list[RunResult]
+    failures: list[FailedRun] = field(default_factory=list)
     _aggregates: dict[str, AggregateStats] | None = field(
         default=None, init=False, repr=False
     )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def scenario_names(self) -> list[str]:
         seen: list[str] = []
@@ -194,6 +243,7 @@ class BatchResult:
     def to_dict(self) -> dict:
         return {
             "runs": [run.summary() for run in self.runs],
+            "failures": [failure.to_dict() for failure in self.failures],
             "aggregates": {
                 name: agg.to_dict() for name, agg in self.aggregates.items()
             },
@@ -221,9 +271,10 @@ class BatchRunner:
         seeds: Iterable[int],
         *,
         jobs: int | None = None,
+        strict: bool = False,
     ) -> BatchResult:
         """Sweep one scenario across ``seeds``."""
-        return self.run_matrix([scenario], seeds, jobs=jobs)
+        return self.run_matrix([scenario], seeds, jobs=jobs, strict=strict)
 
     def run_matrix(
         self,
@@ -231,8 +282,17 @@ class BatchRunner:
         seeds: Iterable[int],
         *,
         jobs: int | None = None,
+        strict: bool = False,
     ) -> BatchResult:
-        """Run the full scenario x seed cross product, in stable order."""
+        """Run the full scenario x seed cross product, in stable order.
+
+        A raising task no longer aborts the batch: its exception is
+        captured into a :class:`FailedRun` on ``BatchResult.failures``
+        while every other task completes, so one bad cell cannot
+        discard a sweep's worth of finished runs.  ``strict=True``
+        restores the old propagate-immediately behaviour (the first
+        failure re-raises after in-flight tasks drain).
+        """
         seed_list = list(seeds)
         if not scenario_list:
             raise ConfigurationError("need at least one scenario")
@@ -245,18 +305,39 @@ class BatchRunner:
                 "(use with_name() to disambiguate)"
             )
         tasks = [
-            (scenario.to_json(), seed)
+            (scenario.name, scenario.to_json(), seed)
             for scenario in scenario_list
             for seed in seed_list
         ]
         workers = self.jobs if jobs is None else jobs
         if workers < 1:
             raise ConfigurationError("jobs must be >= 1")
+        results: list[RunResult] = []
+        failures: list[FailedRun] = []
+
+        def _finish(name: str, seed: int, compute) -> None:
+            try:
+                results.append(compute())
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                if strict:
+                    raise
+                failures.append(FailedRun.from_exception(name, seed, exc))
+
         if workers == 1 or len(tasks) == 1:
-            results = [_execute_task(task) for task in tasks]
+            for name, scenario_json, seed in tasks:
+                _finish(
+                    name,
+                    seed,
+                    lambda t=(scenario_json, seed): _execute_task(t),
+                )
         else:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(tasks))
             ) as pool:
-                results = list(pool.map(_execute_task, tasks))
-        return BatchResult(runs=results)
+                futures = [
+                    (name, seed, pool.submit(_execute_task, (js, seed)))
+                    for name, js, seed in tasks
+                ]
+                for name, seed, future in futures:
+                    _finish(name, seed, future.result)
+        return BatchResult(runs=results, failures=failures)

@@ -11,11 +11,21 @@ Usage::
     python -m repro personas                  # list attacker personas
     python -m repro personas lurker           # describe one persona
     python -m repro sweep --seeds 2016..2018 --jobs 2
+    python -m repro sweep --store results-store --seeds 2016..2023
+    python -m repro sweep --store results-store --resume --backend pool
+    python -m repro store ls --store results-store
     python -m repro compare --scenarios fast,no_case_studies --seeds 1..2
 
 ``--persona-mix`` accepts a compact ``name=weight`` spec (combos join
 with ``+``, applied to every outlet of the plan), inline JSON, or a
 path to a ``PersonaMix`` JSON file.
+
+``sweep --store DIR`` turns a one-shot sweep into a persistent,
+memoized campaign (:mod:`repro.sweeps`): completed (scenario, seed,
+code-version) cells are stored content-addressed under ``DIR`` and
+skipped on re-launch (``--resume``), with every state transition
+journaled to ``DIR/journal.jsonl``.  ``store ls``/``verify``/``gc``
+inspect and maintain the store.
 
 ``python -m repro.cli ...`` keeps working for older scripts.
 """
@@ -114,6 +124,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process)",
     )
     run_parser.add_argument(
+        "--scenario-file", default=None, metavar="FILE",
+        dest="scenario_file",
+        help="run the scenario serialized in FILE (Scenario JSON) "
+        "instead of a registry entry — how the sweep subprocess "
+        "backend dispatches cells",
+    )
+    run_parser.add_argument(
+        "--result-out", default=None, metavar="FILE", dest="result_out",
+        help="pickle the RunResult envelope to FILE after the run "
+        "(readable with pickle.load; used by the sweep subprocess "
+        "backend to ship results back)",
+    )
+    run_parser.add_argument(
         "--fingerprint", action="store_true",
         help="print the sha256 fingerprint of the analysis output "
         "(canonical form; equal fingerprints mean field-for-field "
@@ -166,8 +189,59 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write the batch summary JSON into DIR",
         )
     sweep_parser.add_argument(
-        "--scenario", default="fast", metavar="NAME",
-        help="registry scenario to sweep (default: fast)",
+        "--scenario", default="fast", metavar="NAME[,NAME...]",
+        help="registry scenario(s) to sweep, comma-separated "
+        "(default: fast)",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="memoize (scenario, seed, code-version) cells in a "
+        "content-addressed results store under DIR; already-stored "
+        "cells are skipped",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a sweep journaled in --store (required to run "
+        "against a store that already has a journal)",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts per failed cell before it is reported "
+        "failed (default: 1; store mode only)",
+    )
+    sweep_parser.add_argument(
+        "--backend", default=None,
+        choices=["inprocess", "pool", "subprocess"],
+        help="dispatch backend for store-mode sweeps (default: pool "
+        "when --jobs > 1, else inprocess)",
+    )
+    sweep_parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        dest="max_cells",
+        help="execute at most N uncached cells this invocation, "
+        "deferring the rest (store mode only; resume later with "
+        "--resume)",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect or maintain a memoized sweep results store",
+    )
+    store_parser.add_argument(
+        "action", choices=["ls", "verify", "gc"],
+        help="ls: list entries; verify: integrity-check payloads and "
+        "addresses; gc: drop entries from other code versions plus "
+        "interrupted writes",
+    )
+    store_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the results store directory",
+    )
+    store_parser.add_argument(
+        "--keep-version", default=None, metavar="TOKEN",
+        dest="keep_version",
+        help="gc: code-version token to keep (default: the current "
+        "code version)",
     )
     compare_parser.add_argument(
         "--scenarios", default="fast,no_case_studies", metavar="A,B,...",
@@ -263,16 +337,32 @@ def parse_persona_mix_spec(spec: str, scenario: Scenario) -> PersonaMix:
 
 def _resolve_scenario(args) -> Scenario:
     """The scenario a run/tables invocation asks for, seed applied."""
-    name = args.scenario
-    if name is None:
-        name = "paper_default" if args.paper_cadence else "fast"
-    elif args.paper_cadence:
-        raise ConfigurationError(
-            "--paper-cadence cannot be combined with --scenario "
-            "(the scenario already fixes the cadence)"
-        )
+    scenario_file = getattr(args, "scenario_file", None)
+    if scenario_file is not None:
+        if args.scenario is not None or args.paper_cadence:
+            raise ConfigurationError(
+                "--scenario-file cannot be combined with --scenario "
+                "or --paper-cadence (the file already is the scenario)"
+            )
+        try:
+            payload = Path(scenario_file).read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read scenario file {scenario_file!r}: {exc}"
+            ) from exc
+        base = Scenario.from_json(payload)
+    else:
+        name = args.scenario
+        if name is None:
+            name = "paper_default" if args.paper_cadence else "fast"
+        elif args.paper_cadence:
+            raise ConfigurationError(
+                "--paper-cadence cannot be combined with --scenario "
+                "(the scenario already fixes the cadence)"
+            )
+        base = scenarios.get(name)
     scenario = _apply_duration(
-        scenarios.get(name).with_seed(args.seed), args.duration_days
+        base.with_seed(args.seed), args.duration_days
     )
     if getattr(args, "persona_mix", None):
         mix = parse_persona_mix_spec(args.persona_mix, scenario)
@@ -349,6 +439,14 @@ def _command_run(args) -> int:
         written = run.export_telemetry(args.telemetry_out)
         print(f"exported telemetry ({len(written)} files) "
               f"to {args.telemetry_out}")
+    if args.result_out:
+        import pickle
+
+        result_path = Path(args.result_out)
+        result_path.parent.mkdir(parents=True, exist_ok=True)
+        with result_path.open("wb") as handle:
+            pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        print(f"wrote result envelope: {result_path}")
     return 0
 
 
@@ -399,25 +497,130 @@ def _write_batch_summary(batch, out_dir: str) -> Path:
     return path
 
 
-def _command_sweep(args) -> int:
-    seeds = parse_seed_spec(args.seeds)
-    scenario = _apply_duration(
-        scenarios.get(args.scenario), args.duration_days
-    )
-    started = time.time()
-    batch = BatchRunner(jobs=args.jobs).run(scenario, seeds)
-    elapsed = time.time() - started
-    print(f"swept {scenario.name} over {len(seeds)} seeds "
-          f"in {elapsed:.1f}s (jobs={args.jobs})")
+def _print_batch(batch, args) -> None:
     for run in batch.runs:
         stats = run.overview()
-        print(f"  seed={run.seed}: accesses={stats.unique_accesses} "
+        print(f"  {run.scenario.name} seed={run.seed}: "
+              f"accesses={stats.unique_accesses} "
               f"read={stats.emails_read} sent={stats.emails_sent} "
               f"blocked={stats.blocked_accounts}")
-    print(batch.aggregate().format())
+    for failure in batch.failures:
+        print(f"  {failure.scenario_name} seed={failure.seed}: "
+              f"FAILED ({failure.error})", file=sys.stderr)
+    for aggregate in batch.aggregates.values():
+        print(aggregate.format())
     if args.out:
         path = _write_batch_summary(batch, args.out)
         print(f"wrote {path}")
+
+
+def _command_sweep(args) -> int:
+    seeds = parse_seed_spec(args.seeds)
+    names = [n.strip() for n in args.scenario.split(",") if n.strip()]
+    if not names:
+        raise ConfigurationError(f"empty scenario list {args.scenario!r}")
+    scenario_list = [
+        _apply_duration(scenarios.get(name), args.duration_days)
+        for name in names
+    ]
+    if args.store is None:
+        if args.resume or args.max_cells is not None or args.backend:
+            raise ConfigurationError(
+                "--resume/--max-cells/--backend need a persistent "
+                "store; add --store DIR"
+            )
+        started = time.time()
+        batch = BatchRunner(jobs=args.jobs).run_matrix(
+            scenario_list, seeds
+        )
+        elapsed = time.time() - started
+        print(f"swept {', '.join(names)} over {len(seeds)} seeds "
+              f"in {elapsed:.1f}s (jobs={args.jobs})")
+        _print_batch(batch, args)
+        return 1 if batch.failures else 0
+    return _sweep_with_store(args, scenario_list, seeds)
+
+
+def _sweep_with_store(args, scenario_list, seeds) -> int:
+    from repro.sweeps import (
+        ResultsStore,
+        SweepManager,
+        backend_from_name,
+    )
+
+    backend_name = args.backend or (
+        "pool" if args.jobs > 1 else "inprocess"
+    )
+    backend = backend_from_name(backend_name, jobs=args.jobs)
+    store = ResultsStore(args.store)
+
+    def progress(record: dict) -> None:
+        if record.get("event") != "cell":
+            return
+        status = record["status"]
+        if status in ("done", "cached", "failed", "requeued"):
+            detail = ""
+            if status == "done":
+                detail = f" ({record.get('elapsed_seconds', 0):.1f}s)"
+            elif status in ("failed", "requeued"):
+                detail = f" ({record.get('error')})"
+            print(f"  [{status}] {record['scenario']} "
+                  f"seed={record['seed']}{detail}")
+
+    manager = SweepManager(
+        scenario_list,
+        seeds,
+        store,
+        retries=args.retries,
+        progress=progress,
+    )
+    result = manager.run(
+        backend,
+        resume=args.resume,
+        max_cells=args.max_cells,
+    )
+    counts = result.counts()
+    print(f"sweep over {len(result.cells)} cells in "
+          f"{result.elapsed_seconds:.1f}s (backend={backend.name}): "
+          f"{counts['done']} executed, {counts['cached']} cached, "
+          f"{counts['failed']} failed, "
+          f"{counts['deferred'] + counts['pending']} deferred")
+    print(f"store: {store.root} ({len(store)} cells), journal: "
+          f"{manager.journal_path}")
+    batch = result.batch()
+    if batch.runs:
+        _print_batch(batch, args)
+    if not result.complete and not result.failed:
+        print("sweep incomplete: re-invoke with --resume to continue")
+    return 1 if result.failed else 0
+
+
+def _command_store(args) -> int:
+    from repro.sweeps import open_store
+
+    store = open_store(args.store, must_exist=True)
+    if args.action == "ls":
+        entries = store.entries()
+        if not entries:
+            print("store is empty")
+            return 0
+        width = max(len(e.scenario_name) for e in entries)
+        for e in entries:
+            print(f"{e.scenario_name:<{width}}  seed={e.seed:<6d} "
+                  f"{e.address[:12]}  {e.payload_bytes / 1024:8.1f} KiB  "
+                  f"{e.elapsed_seconds:7.1f}s  "
+                  f"accesses={e.summary.get('unique_accesses')}  "
+                  f"{e.code_version}")
+        print(f"{len(entries)} cells")
+        return 0
+    if args.action == "verify":
+        problems = store.verify()
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        print(f"{len(store)} entries, {len(problems)} problems")
+        return 1 if problems else 0
+    removed = store.gc(keep_code_version=args.keep_version)
+    print(f"gc removed {len(removed)} objects, kept {len(store)}")
     return 0
 
 
@@ -454,10 +657,13 @@ def _command_compare(args) -> int:
     for name, agg in aggregates.items():
         for test, p_value in agg.pooled_cvm.items():
             print(f"  {name} pooled cvm {test}: p={p_value:.7f}")
+    for failure in batch.failures:
+        print(f"  {failure.scenario_name} seed={failure.seed}: "
+              f"FAILED ({failure.error})", file=sys.stderr)
     if args.out:
         path = _write_batch_summary(batch, args.out)
         print(f"wrote {path}")
-    return 0
+    return 1 if batch.failures else 0
 
 
 _COMMANDS = {
@@ -467,6 +673,7 @@ _COMMANDS = {
     "personas": _command_personas,
     "sweep": _command_sweep,
     "compare": _command_compare,
+    "store": _command_store,
 }
 
 

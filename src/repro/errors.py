@@ -67,3 +67,7 @@ class AnalysisError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an experiment configuration is internally inconsistent."""
+
+
+class SweepError(ReproError):
+    """Raised when a strict sweep has cells that exhausted their retries."""

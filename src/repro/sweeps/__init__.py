@@ -1,0 +1,88 @@
+"""Distributed sweep orchestration with a memoized results store.
+
+One-shot :class:`~repro.api.runner.BatchRunner` sweeps become
+persistent, resumable **campaigns**:
+
+* :class:`JobSpec` (:mod:`repro.sweeps.jobspec`) — a deterministic
+  content address for each (scenario, seed, code-version) cell,
+  derived from the scenario's canonical JSON;
+* :class:`ResultsStore` (:mod:`repro.sweeps.store`) — an atomic,
+  content-addressed on-disk store that memoizes completed cells, with
+  ``ls``/``verify``/``gc`` maintenance;
+* :class:`SweepManager` (:mod:`repro.sweeps.manager`) — plans the
+  scenario × seed matrix, skips cached cells, journals every state
+  transition to JSONL, survives kill-and-restart (``resume=True``),
+  and requeues failures with a bounded retry budget;
+* dispatch backends (:mod:`repro.sweeps.backends`) —
+  :class:`InProcessBackend`, :class:`LocalPoolBackend`, and
+  :class:`SubprocessBackend` behind one :class:`DispatchBackend`
+  protocol, so the same sweep scales from "this process" to "one OS
+  process per cell" (the shape SSH/SLURM dispatch slots into).
+
+Quickstart::
+
+    from repro import scenarios
+    from repro.sweeps import ResultsStore, SweepManager
+
+    store = ResultsStore("results-store")
+    manager = SweepManager(
+        [scenarios.get("fast")], seeds=range(2016, 2024), store=store
+    )
+    result = manager.run()            # executes 8 cells, memoizes each
+    print(result.batch().aggregate().format())
+
+    result = manager.run(resume=True)  # instant: all 8 load from disk
+    assert result.cached == 8
+
+The CLI mirrors this: ``python -m repro sweep --store DIR [--resume]
+[--backend inprocess|pool|subprocess] [--retries N] [--max-cells N]``
+plus ``python -m repro store ls|verify|gc``.
+"""
+
+from repro.sweeps.backends import (
+    BACKEND_NAMES,
+    CellOutcome,
+    CellTask,
+    DispatchBackend,
+    InProcessBackend,
+    LocalPoolBackend,
+    SubprocessBackend,
+    backend_from_name,
+)
+from repro.sweeps.jobspec import (
+    CODE_VERSION_ENV,
+    JobSpec,
+    canonical_scenario_json,
+    default_code_version,
+)
+from repro.sweeps.manager import (
+    CellStatus,
+    SweepCell,
+    SweepManager,
+    SweepResult,
+    read_journal,
+)
+from repro.sweeps.store import ResultsStore, StoreEntry, open_store
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CODE_VERSION_ENV",
+    "CellOutcome",
+    "CellStatus",
+    "CellTask",
+    "DispatchBackend",
+    "InProcessBackend",
+    "JobSpec",
+    "LocalPoolBackend",
+    "ResultsStore",
+    "StoreEntry",
+    "SubprocessBackend",
+    "SweepCell",
+    "SweepManager",
+    "SweepResult",
+    "backend_from_name",
+    "canonical_scenario_json",
+    "default_code_version",
+    "open_store",
+    "read_journal",
+]

@@ -1,0 +1,282 @@
+"""Pluggable dispatch backends for sweep cells.
+
+A :class:`DispatchBackend` turns a batch of :class:`CellTask`s into
+:class:`CellOutcome`s, yielding each outcome **as it completes** so the
+:class:`~repro.sweeps.manager.SweepManager` can journal progress,
+memoize results, and requeue failures incrementally.  Outcomes carry an
+index back to the task, so completion order is free to differ from
+submission order.
+
+Three implementations ship:
+
+* :class:`InProcessBackend` — runs cells serially in the calling
+  process.  Zero marshalling overhead; the right default for one-off
+  sweeps and the baseline the store-overhead benchmark gates against.
+* :class:`LocalPoolBackend` — a ``ProcessPoolExecutor``, the same
+  semantics :class:`~repro.api.runner.BatchRunner` uses: workers
+  rebuild runs from the serialized scenario, so pooled results are
+  bit-identical to in-process ones.
+* :class:`SubprocessBackend` — shells out to ``python -m repro run
+  --scenario-file ... --result-out ...`` per cell.  Each cell is a
+  fully independent OS process with no shared interpreter state — the
+  shape that generalizes to SSH/SLURM dispatch: replace the local
+  ``Popen`` with a remote submit and the manager never knows.
+
+Every backend must **contain** per-cell failures: a raising cell
+becomes a failed :class:`CellOutcome`, never an exception that aborts
+the generator (and with it every in-flight sibling).
+
+Scenarios with ``shards > 1`` compose transparently: each cell's
+``run_scenario`` call dispatches to the sharded executor, so one sweep
+can saturate a fleet twice over (cells across workers, shards within a
+cell).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.envelope import RunResult
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One dispatchable cell: a serialized scenario plus its seed."""
+
+    index: int
+    scenario_json: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one dispatched cell produced: a run or a contained failure."""
+
+    index: int
+    run: "RunResult | None"
+    elapsed_seconds: float
+    error: str | None = None
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+@runtime_checkable
+class DispatchBackend(Protocol):
+    """The contract every dispatch backend satisfies."""
+
+    #: Stable identifier used in journals and ``--backend`` flags.
+    name: str
+
+    def run_cells(
+        self, tasks: Sequence[CellTask]
+    ) -> Iterator[CellOutcome]:
+        """Execute ``tasks``, yielding one outcome per task as it finishes."""
+        ...  # pragma: no cover - protocol
+
+
+def _execute_cell(task: CellTask) -> CellOutcome:
+    """Run one cell in this process, containing any failure.
+
+    Module-level so process pools can pickle it; the in-process backend
+    calls it too, guaranteeing identical execution either way (the same
+    serialize-rebuild-run discipline as ``BatchRunner``).
+    """
+    from repro.api.envelope import run_scenario
+    from repro.api.scenario import Scenario
+
+    started = time.perf_counter()
+    try:
+        scenario = Scenario.from_json(task.scenario_json)
+        run = run_scenario(scenario, seed=task.seed)
+    except Exception as exc:  # noqa: BLE001 - failures must be contained
+        return CellOutcome(
+            index=task.index,
+            run=None,
+            elapsed_seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+    return CellOutcome(
+        index=task.index,
+        run=run,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+class InProcessBackend:
+    """Serial execution in the calling process."""
+
+    name = "inprocess"
+
+    def run_cells(
+        self, tasks: Sequence[CellTask]
+    ) -> Iterator[CellOutcome]:
+        for task in tasks:
+            yield _execute_cell(task)
+
+
+class LocalPoolBackend:
+    """``ProcessPoolExecutor`` dispatch — today's ``BatchRunner`` shape."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ConfigurationError("pool backend needs jobs >= 1")
+        self.jobs = jobs
+
+    def run_cells(
+        self, tasks: Sequence[CellTask]
+    ) -> Iterator[CellOutcome]:
+        if not tasks:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks))
+        ) as pool:
+            pending = {
+                pool.submit(_execute_cell, task) for task in tasks
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                yield from (future.result() for future in done)
+
+
+class SubprocessBackend:
+    """One ``python -m repro run`` child process per cell.
+
+    The cell's scenario is written to a JSON file, the child runs it
+    with ``--scenario-file``/``--result-out``, and the pickled
+    :class:`RunResult` is read back.  ``jobs`` children run
+    concurrently (each is its own OS process; the coordinating threads
+    only block on ``Popen.wait``).  This is deliberately the dumbest
+    possible remote-execution shape — swap the local ``Popen`` for
+    ``ssh host python -m repro ...`` or ``sbatch`` and nothing above
+    this class changes.
+    """
+
+    name = "subprocess"
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        python: str | None = None,
+        extra_args: Sequence[str] = (),
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError("subprocess backend needs jobs >= 1")
+        self.jobs = jobs
+        self.python = python or sys.executable
+        self.extra_args = tuple(extra_args)
+
+    def run_cells(
+        self, tasks: Sequence[CellTask]
+    ) -> Iterator[CellOutcome]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        if not tasks:
+            return
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+            with ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(tasks))
+            ) as pool:
+                pending = {
+                    pool.submit(self._run_one, task, Path(tmp))
+                    for task in tasks
+                }
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    yield from (future.result() for future in done)
+
+    def _run_one(self, task: CellTask, tmp: Path) -> CellOutcome:
+        import pickle
+
+        started = time.perf_counter()
+        scenario_path = tmp / f"cell-{task.index}.scenario.json"
+        result_path = tmp / f"cell-{task.index}.result.pkl"
+        scenario_path.write_text(task.scenario_json)
+        command = [
+            self.python,
+            "-m",
+            "repro",
+            "run",
+            "--scenario-file",
+            str(scenario_path),
+            "--seed",
+            str(task.seed),
+            "--result-out",
+            str(result_path),
+            *self.extra_args,
+        ]
+        try:
+            completed = subprocess.run(
+                command, capture_output=True, text=True, check=False
+            )
+        except OSError as exc:
+            return CellOutcome(
+                index=task.index,
+                run=None,
+                elapsed_seconds=time.perf_counter() - started,
+                error=f"failed to spawn {self.python}: {exc}",
+            )
+        if completed.returncode != 0:
+            tail = "\n".join(completed.stderr.splitlines()[-8:])
+            return CellOutcome(
+                index=task.index,
+                run=None,
+                elapsed_seconds=time.perf_counter() - started,
+                error=(
+                    f"exit status {completed.returncode} from "
+                    f"'{' '.join(command[:4])} ...'"
+                ),
+                traceback=tail or None,
+            )
+        try:
+            with result_path.open("rb") as handle:
+                run = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            return CellOutcome(
+                index=task.index,
+                run=None,
+                elapsed_seconds=time.perf_counter() - started,
+                error=f"child produced no readable result: {exc}",
+            )
+        return CellOutcome(
+            index=task.index,
+            run=run,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+#: ``--backend`` flag values mapped to constructors taking ``jobs``.
+BACKEND_NAMES = ("inprocess", "pool", "subprocess")
+
+
+def backend_from_name(name: str, *, jobs: int = 1) -> DispatchBackend:
+    """Build the backend the CLI asked for by name."""
+    if name == "inprocess":
+        return InProcessBackend()
+    if name == "pool":
+        return LocalPoolBackend(jobs=jobs)
+    if name == "subprocess":
+        return SubprocessBackend(jobs=jobs)
+    raise ConfigurationError(
+        f"unknown dispatch backend {name!r}; known: "
+        + ", ".join(BACKEND_NAMES)
+    )

@@ -1,0 +1,160 @@
+"""Deterministic job identities for memoized sweeps.
+
+A :class:`JobSpec` names one sweep cell — *this* scenario, under *this*
+seed, on *this* version of the code — and hashes that identity into a
+content address.  The address is what makes the results store
+(:mod:`repro.sweeps.store`) a memo table: a re-launched sweep computes
+the same addresses, finds them on disk, and skips the work.
+
+Identity is derived from the scenario's **canonical JSON**, not its
+Python object graph: the serialized form is reduced through
+:func:`repro.analysis.fingerprint.canonicalize` (deterministic dict
+ordering, 10-significant-digit floats), so a scenario built fluently,
+parsed from JSON, or rebuilt from a dict all hash to the same address
+in any process.  Any semantic change — seed, persona mix, duration,
+leak plan, shard count — changes the canonical form and therefore the
+address; cosmetic differences (dict insertion order, float ulps) do
+not.
+
+The **code-version token** keeps memoized results honest across code
+changes: results computed by a different version of the simulator get
+different addresses and are simply recomputed (``ResultsStore.gc``
+reclaims the stale ones).  It defaults to the package version and can
+be pinned explicitly or via ``REPRO_CODE_VERSION`` (useful for CI runs
+that want one cache per commit: ``REPRO_CODE_VERSION=$GITHUB_SHA``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.analysis.fingerprint import canonicalize
+from repro.api.scenario import Scenario
+
+#: Environment variable overriding :func:`default_code_version`.
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+
+def default_code_version() -> str:
+    """The code-version token used when none is given explicitly.
+
+    ``REPRO_CODE_VERSION`` wins when set; otherwise the installed
+    package version (``repro-<__version__>``).
+    """
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    from repro import __version__
+
+    return f"repro-{__version__}"
+
+
+def canonical_scenario_json(scenario: Scenario) -> str:
+    """The platform-stable canonical JSON encoding of ``scenario``.
+
+    Round-trip-stable: ``Scenario.from_json(s.to_json())`` canonicalizes
+    to the same string as ``s`` itself.
+    """
+    return json.dumps(canonicalize(scenario.to_dict()), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sweep cell's identity: (canonical scenario, seed, code version).
+
+    Attributes:
+        scenario_name: the scenario's registry/user name (display only —
+            the canonical JSON, not the name, is what is hashed; two
+            scenarios that differ only in description still differ in
+            canonical form because the description is serialized).
+        seed: the master seed the cell runs under.
+        code_version: the code-version token (see
+            :func:`default_code_version`).
+        canonical: canonical JSON of the seed-applied scenario.
+        address: sha256 content address over (canonical, seed,
+            code_version) — the store key.
+    """
+
+    scenario_name: str
+    seed: int
+    code_version: str
+    canonical: str
+    address: str
+
+    @classmethod
+    def for_cell(
+        cls,
+        scenario: Scenario,
+        seed: int | None = None,
+        *,
+        code_version: str | None = None,
+    ) -> "JobSpec":
+        """The spec of ``scenario`` run under ``seed``.
+
+        ``seed=None`` keeps the scenario's own master seed.  The seed is
+        folded into the scenario before canonicalization, so the
+        canonical form alone pins the cell; the explicit ``seed`` field
+        is carried for readability (sidecars, journals, ``store ls``).
+        """
+        if seed is not None:
+            scenario = scenario.with_seed(seed)
+        if code_version is None:
+            code_version = default_code_version()
+        canonical = canonical_scenario_json(scenario)
+        address = compute_address(canonical, scenario.seed, code_version)
+        return cls(
+            scenario_name=scenario.name,
+            seed=scenario.seed,
+            code_version=code_version,
+            canonical=canonical,
+            address=address,
+        )
+
+    def rebuild_scenario(self) -> Scenario:
+        """The scenario this spec identifies, rebuilt from canonical form."""
+        return Scenario.from_dict(_decanonicalize(json.loads(self.canonical)))
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario_name} seed={self.seed} "
+            f"code={self.code_version} addr={self.address[:12]}"
+        )
+
+
+def compute_address(canonical: str, seed: int, code_version: str) -> str:
+    """The sha256 content address of one (canonical, seed, version) cell."""
+    encoded = json.dumps(
+        {
+            "canonical": canonical,
+            "seed": seed,
+            "code_version": code_version,
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def _decanonicalize(value):
+    """Invert :func:`repro.analysis.fingerprint.canonicalize`.
+
+    The canonical form wraps floats/sets/dicts in tagged objects so
+    ordering is deterministic; this unwraps them back into plain JSON
+    data that :meth:`Scenario.from_dict` accepts.
+    """
+    if isinstance(value, dict):
+        if "__float__" in value and len(value) == 1:
+            return float(value["__float__"])
+        if "__set__" in value and len(value) == 1:
+            return [_decanonicalize(item) for item in value["__set__"]]
+        if "__dict__" in value and len(value) == 1:
+            return {
+                _decanonicalize(key): _decanonicalize(item)
+                for key, item in value["__dict__"]
+            }
+        return {key: _decanonicalize(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decanonicalize(item) for item in value]
+    return value

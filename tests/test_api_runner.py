@@ -6,12 +6,17 @@ import pytest
 
 from repro.api import (
     BatchRunner,
+    FailedRun,
     RunResult,
     aggregate_runs,
     run_scenario,
     scenarios,
 )
-from repro.api.runner import AGGREGATED_METRICS
+from repro.api.runner import (
+    AGGREGATED_METRICS,
+    AggregateStats,
+    _execute_task,
+)
 from repro.errors import ConfigurationError
 from repro.sim.clock import hours
 
@@ -144,6 +149,66 @@ class TestBatchRunner:
             BatchRunner(jobs=0)
 
 
+def _boom_on_seed_2(task):
+    """A drop-in for ``_execute_task`` that fails exactly one cell.
+
+    Module-level so process pools can pickle it; under the fork start
+    method the monkeypatched module global propagates to pool workers.
+    """
+    scenario_json, seed = task
+    if seed == 2:
+        raise RuntimeError("injected failure for seed 2")
+    return _execute_task(task)
+
+
+class TestFailureIsolation:
+    def assert_isolated(self, batch):
+        assert [r.seed for r in batch.runs] == [1, 3]
+        assert len(batch.failures) == 1
+        failure = batch.failures[0]
+        assert failure.scenario_name == "tiny"
+        assert failure.seed == 2
+        assert failure.error == "RuntimeError: injected failure for seed 2"
+        assert "injected failure" in failure.traceback
+        assert not batch.ok
+        payload = batch.to_dict()
+        assert payload["failures"] == [failure.to_dict()]
+        # Aggregates still work over the surviving runs.
+        assert batch.aggregate().seeds == (1, 3)
+
+    def test_serial_failure_is_contained(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.api.runner._execute_task", _boom_on_seed_2
+        )
+        batch = BatchRunner(jobs=1).run(TINY, seeds=[1, 2, 3])
+        self.assert_isolated(batch)
+
+    def test_pooled_failure_is_contained(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.api.runner._execute_task", _boom_on_seed_2
+        )
+        batch = BatchRunner(jobs=2).run(TINY, seeds=[1, 2, 3])
+        self.assert_isolated(batch)
+
+    def test_strict_reraises(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.api.runner._execute_task", _boom_on_seed_2
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            BatchRunner().run(TINY, seeds=[1, 2, 3], strict=True)
+
+    def test_failed_run_from_exception(self):
+        try:
+            raise ValueError("bad input")
+        except ValueError as exc:
+            failure = FailedRun.from_exception("s", 7, exc)
+        assert failure.error == "ValueError: bad input"
+        assert "ValueError: bad input" in failure.traceback
+        assert failure.to_dict() == {
+            "scenario": "s", "seed": 7, "error": "ValueError: bad input",
+        }
+
+
 class TestAggregates:
     def test_aggregate_metrics_shape(self):
         batch = BatchRunner().run(TINY, seeds=[2016, 2017])
@@ -170,6 +235,19 @@ class TestAggregates:
         # pooling changes the sample sizes, so p-values must differ
         # from any single run's
         assert pooled != singles[0]
+
+    def test_format_with_no_metrics_prints_header_only(self):
+        # Regression: max() over the empty metric-name sequence used to
+        # raise ValueError before the format could print anything.
+        empty = AggregateStats(
+            scenario_name="bare",
+            seeds=(1, 2),
+            metrics={},
+            pooled_cvm={},
+        )
+        text = empty.format()
+        assert text.startswith("bare over seeds 1, 2:")
+        assert "\n" not in text.strip()
 
     def test_mixed_scenarios_rejected(self):
         runs = [

@@ -1,0 +1,333 @@
+"""Tests for repro.sweeps.manager and repro.sweeps.backends."""
+
+import pytest
+
+from repro.analysis.fingerprint import fingerprint_digest
+from repro.api import BatchRunner, scenarios
+from repro.errors import ConfigurationError, SweepError
+from repro.sweeps import (
+    CellOutcome,
+    CellStatus,
+    CellTask,
+    DispatchBackend,
+    InProcessBackend,
+    LocalPoolBackend,
+    ResultsStore,
+    SweepManager,
+    backend_from_name,
+    read_journal,
+)
+
+TINY = (
+    scenarios.get("fast")
+    .to_builder()
+    .named("tiny")
+    .with_duration_days(6.0)
+    .with_emails_per_account(8, 12)
+    .build()
+)
+TINY_B = TINY.with_name("tiny-b")
+
+VERSION = "manager-test-v1"
+
+
+def make_manager(store, scenario_list=None, seeds=(2016, 2017), **kwargs):
+    kwargs.setdefault("code_version", VERSION)
+    return SweepManager(
+        scenario_list if scenario_list is not None else [TINY],
+        list(seeds),
+        store,
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultsStore:
+    return ResultsStore(tmp_path / "store")
+
+
+class FailingBackend:
+    """Fails every cell without running anything (cheap failure tests)."""
+
+    name = "failing"
+
+    def run_cells(self, tasks):
+        for task in tasks:
+            yield CellOutcome(
+                index=task.index,
+                run=None,
+                elapsed_seconds=0.0,
+                error="BoomError: injected",
+                traceback="synthetic traceback",
+            )
+
+
+class FlakyBackend:
+    """Fails each cell's first ``failures_per_cell`` attempts, then runs it."""
+
+    name = "flaky"
+
+    def __init__(self, failures_per_cell: int = 1) -> None:
+        self.failures_per_cell = failures_per_cell
+        self.attempts: dict[int, int] = {}
+        self.inner = InProcessBackend()
+
+    def run_cells(self, tasks):
+        for task in tasks:
+            seen = self.attempts.get(task.index, 0)
+            self.attempts[task.index] = seen + 1
+            if seen < self.failures_per_cell:
+                yield CellOutcome(
+                    index=task.index,
+                    run=None,
+                    elapsed_seconds=0.0,
+                    error="FlakeError: try again",
+                )
+            else:
+                yield from self.inner.run_cells([task])
+
+
+class TestPlanning:
+    def test_plan_orders_scenario_major(self, store):
+        manager = make_manager(store, [TINY, TINY_B], seeds=(1, 2))
+        cells = manager.plan()
+        assert [(c.scenario.name, c.seed) for c in cells] == [
+            ("tiny", 1), ("tiny", 2), ("tiny-b", 1), ("tiny-b", 2),
+        ]
+        assert all(c.status is CellStatus.PENDING for c in cells)
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_validation(self, store):
+        with pytest.raises(ConfigurationError, match="one scenario"):
+            SweepManager([], [1], store)
+        with pytest.raises(ConfigurationError, match="one seed"):
+            SweepManager([TINY], [], store)
+        with pytest.raises(ConfigurationError, match="unique"):
+            SweepManager([TINY, TINY], [1], store)
+        with pytest.raises(ConfigurationError, match="retries"):
+            SweepManager([TINY], [1], store, retries=-1)
+
+    def test_single_scenario_needs_no_list(self, store):
+        manager = SweepManager(TINY, [1], store, code_version=VERSION)
+        assert len(manager.plan()) == 1
+
+
+class TestMemoizedExecution:
+    def test_cold_then_warm(self, store):
+        manager = make_manager(store)
+        cold = manager.run()
+        assert cold.executed == 2 and cold.cached == 0
+        assert cold.complete
+
+        warm = make_manager(store).run(resume=True)
+        assert warm.executed == 0 and warm.cached == 2
+        assert warm.complete
+        # Same aggregates whether computed or loaded.
+        assert (
+            warm.batch().aggregate().to_dict()
+            == cold.batch().aggregate().to_dict()
+        )
+
+    def test_killed_and_resumed_equals_uninterrupted(
+        self, store, tmp_path
+    ):
+        """The acceptance-criteria scenario: kill after one cell, resume,
+        compare against an uninterrupted sweep in a fresh store."""
+        first = make_manager(store, [TINY, TINY_B]).run(max_cells=1)
+        assert first.executed == 1
+        assert first.deferred == 3
+        assert not first.complete
+
+        resumed = make_manager(store, [TINY, TINY_B]).run(resume=True)
+        assert resumed.cached == 1 and resumed.executed == 3
+        assert resumed.complete
+        journal = read_journal(store.journal_path)
+        cached = [
+            r
+            for r in journal
+            if r.get("event") == "cell" and r["status"] == "cached"
+        ]
+        assert len(cached) == 1
+
+        uninterrupted = make_manager(
+            ResultsStore(tmp_path / "fresh"), [TINY, TINY_B]
+        ).run()
+        resumed_batch = resumed.batch()
+        straight_batch = uninterrupted.batch()
+        assert [
+            fingerprint_digest(r.analysis) for r in resumed_batch.runs
+        ] == [
+            fingerprint_digest(r.analysis) for r in straight_batch.runs
+        ]
+        assert {
+            name: agg.to_dict()
+            for name, agg in resumed_batch.aggregates.items()
+        } == {
+            name: agg.to_dict()
+            for name, agg in straight_batch.aggregates.items()
+        }
+
+    def test_sweep_matches_batchrunner_bit_for_bit(self, store):
+        sweep_batch = make_manager(store).run().batch()
+        direct = BatchRunner().run(TINY, [2016, 2017])
+        assert (
+            sweep_batch.aggregate().to_dict()
+            == direct.aggregate().to_dict()
+        )
+
+    def test_code_version_miss_recomputes(self, store):
+        make_manager(store).run()
+        other = make_manager(store, code_version="manager-test-v2")
+        result = other.run(resume=True)
+        assert result.cached == 0 and result.executed == 2
+        # Both versions now coexist until gc.
+        assert len(store) == 4
+
+
+class TestResumeGuard:
+    def test_second_run_requires_resume(self, store):
+        make_manager(store).run()
+        with pytest.raises(ConfigurationError, match="resume"):
+            make_manager(store).run()
+
+    def test_custom_journal_path(self, store, tmp_path):
+        path = tmp_path / "elsewhere.jsonl"
+        manager = make_manager(store, journal_path=path)
+        manager.run()
+        assert path.exists()
+        assert not store.journal_path.exists()
+
+
+class TestJournalAndProgress:
+    def test_journal_records_lifecycle(self, store):
+        make_manager(store).run()
+        journal = read_journal(store.journal_path)
+        events = [r["event"] for r in journal]
+        assert events[0] == "launch" and events[-1] == "finish"
+        statuses = [
+            r["status"] for r in journal if r["event"] == "cell"
+        ]
+        # The whole batch is marked running at dispatch, then each cell
+        # reports done as it completes.
+        assert statuses == ["running", "running", "done", "done"]
+        done = [
+            r
+            for r in journal
+            if r["event"] == "cell" and r["status"] == "done"
+        ]
+        assert all(
+            r["address"] and r["scenario"] == "tiny" for r in done
+        )
+        finish = journal[-1]
+        assert finish["done"] == 2 and finish["failed"] == 0
+
+    def test_progress_callback_sees_every_record(self, store):
+        seen = []
+        make_manager(store, progress=seen.append).run()
+        assert [r["event"] for r in seen] == [
+            r["event"] for r in read_journal(store.journal_path)
+        ]
+
+
+class TestFailureHandling:
+    def test_failures_become_failed_runs(self, store):
+        result = make_manager(store, retries=0).run(FailingBackend())
+        assert result.failed == 2 and result.executed == 0
+        batch = result.batch()
+        assert batch.runs == []
+        assert [f.seed for f in batch.failures] == [2016, 2017]
+        assert "BoomError" in batch.failures[0].error
+        assert not batch.ok
+
+    def test_retry_budget_recovers_flaky_cells(self, store):
+        backend = FlakyBackend(failures_per_cell=1)
+        result = make_manager(store, retries=1).run(backend)
+        assert result.failed == 0 and result.executed == 2
+        journal = read_journal(store.journal_path)
+        requeued = [
+            r
+            for r in journal
+            if r.get("event") == "cell" and r["status"] == "requeued"
+        ]
+        assert len(requeued) == 2
+
+    def test_retry_budget_is_bounded(self, store):
+        backend = FlakyBackend(failures_per_cell=5)
+        result = make_manager(store, retries=2).run(backend)
+        assert result.failed == 2
+        # 1 initial + 2 retries per cell
+        assert all(n == 3 for n in backend.attempts.values())
+
+    def test_strict_raises_sweep_error(self, store):
+        with pytest.raises(SweepError, match="injected"):
+            make_manager(store, retries=0).run(
+                FailingBackend(), strict=True
+            )
+        # The journal still recorded the failures before the raise.
+        journal = read_journal(store.journal_path)
+        assert any(
+            r.get("status") == "failed" for r in journal
+        )
+
+    def test_cell_failure_is_contained_not_raised(self, store):
+        # A malformed scenario JSON must fail its cell, not the sweep.
+        outcomes = list(
+            InProcessBackend().run_cells(
+                [CellTask(index=0, scenario_json="{broken", seed=1)]
+            )
+        )
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        assert "ConfigurationError" in outcomes[0].error
+
+
+class TestMaxCells:
+    def test_deferred_cells_stay_unexecuted(self, store):
+        result = make_manager(store).run(max_cells=1)
+        statuses = [c.status for c in result.cells]
+        assert statuses == [CellStatus.DONE, CellStatus.DEFERRED]
+        journal = read_journal(store.journal_path)
+        assert any(r.get("status") == "deferred" for r in journal)
+
+    def test_max_cells_zero_executes_nothing(self, store):
+        result = make_manager(store).run(max_cells=0)
+        assert result.executed == 0 and result.deferred == 2
+        with pytest.raises(ConfigurationError, match="max_cells"):
+            make_manager(store).run(resume=True, max_cells=-1)
+
+
+class TestBackends:
+    def test_protocol_conformance(self):
+        for backend in (
+            InProcessBackend(),
+            LocalPoolBackend(jobs=2),
+            FailingBackend(),
+        ):
+            assert isinstance(backend, DispatchBackend)
+
+    def test_pool_backend_matches_inprocess(self, store, tmp_path):
+        pool_store = ResultsStore(tmp_path / "pool-store")
+        serial = make_manager(store).run(InProcessBackend())
+        pooled = make_manager(pool_store).run(LocalPoolBackend(jobs=2))
+        assert pooled.executed == 2
+
+        def strip(run):
+            summary = run.summary()
+            summary.pop("elapsed_seconds")
+            summary.pop("perf")
+            return summary
+
+        assert [strip(r) for r in serial.batch().runs] == [
+            strip(r) for r in pooled.batch().runs
+        ]
+
+    def test_backend_from_name(self):
+        assert backend_from_name("inprocess").name == "inprocess"
+        pool = backend_from_name("pool", jobs=3)
+        assert pool.name == "pool" and pool.jobs == 3
+        sub = backend_from_name("subprocess", jobs=2)
+        assert sub.name == "subprocess" and sub.jobs == 2
+        with pytest.raises(ConfigurationError, match="unknown dispatch"):
+            backend_from_name("slurm")
+        with pytest.raises(ConfigurationError, match="jobs"):
+            LocalPoolBackend(jobs=0)
