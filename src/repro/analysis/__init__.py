@@ -14,7 +14,11 @@ paper's Section 4:
 * ``report`` / ``figures`` — assembled tables and figure series.
 """
 
-from repro.analysis.accesses import UniqueAccess, clean_accesses, extract_unique_accesses
+from repro.analysis.accesses import (
+    UniqueAccess,
+    clean_accesses,
+    extract_unique_accesses,
+)
 from repro.analysis.cvm import CvmResult, cramer_von_mises_2samp
 from repro.analysis.dataset import AnalysisResults, analyze
 from repro.analysis.durations import access_durations, time_to_first_access

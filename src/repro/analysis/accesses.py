@@ -101,21 +101,31 @@ def _extract_unique_columnar(dataset, store) -> list[UniqueAccess]:
     cookie_ids = store.cookie_ids
     by_cookie: dict[tuple[int, int], list[int]] = {}
     setdefault = by_cookie.setdefault
-    # The cleaning filter runs vectorised over zero-copy views of the
-    # raw int64 id columns — in a honey run the overwhelming majority
-    # of rows are the scraper's own logins, so the per-row Python loop
-    # below only ever touches the few-percent survivor set.  (numpy is
-    # already a hard dependency of the analysis layer: ecdf/cvm.)
-    if len(timestamps):
-        keep = np.frombuffer(city_ids, dtype=np.int64) != (
-            -1 if blocked_city_id is None else blocked_city_id
-        )
-        if monitor_ip_ids:
-            ip_view = np.frombuffer(ip_ids, dtype=np.int64)
-            keep &= ~np.isin(ip_view, np.fromiter(monitor_ip_ids, np.int64))
-        survivors = np.nonzero(keep)[0].tolist()
-    else:
-        survivors = []
+    # The cleaning filter runs vectorised over views of the raw int64
+    # id columns — in a honey run the overwhelming majority of rows are
+    # the scraper's own logins, so the per-row Python loop below only
+    # ever touches the few-percent survivor set.  (numpy is already a
+    # hard dependency of the analysis layer: ecdf/cvm.)  The scan goes
+    # chunk by chunk: resident stores yield one full zero-copy view,
+    # spilled stores one mmap'd chunk at a time, so no full column is
+    # ever materialised.
+    from repro.telemetry.spill import iter_column_chunks
+
+    blocked_id = -1 if blocked_city_id is None else blocked_city_id
+    monitor_id_array = (
+        np.fromiter(monitor_ip_ids, np.int64) if monitor_ip_ids else None
+    )
+    survivors: list[int] = []
+    base = 0
+    for city_chunk, ip_chunk in zip(
+        iter_column_chunks(city_ids, np.int64),
+        iter_column_chunks(ip_ids, np.int64),
+    ):
+        keep = city_chunk != blocked_id
+        if monitor_id_array is not None:
+            keep &= ~np.isin(ip_chunk, monitor_id_array)
+        survivors.extend((np.nonzero(keep)[0] + base).tolist())
+        base += len(city_chunk)
     for index in survivors:
         setdefault((account_ids[index], cookie_ids[index]), []).append(index)
     unique: list[UniqueAccess] = []

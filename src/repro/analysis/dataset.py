@@ -103,6 +103,10 @@ def _count_actions(dataset: ObservedDataset) -> tuple[int, int, int]:
     """
     store = getattr(dataset, "notification_store", None)
     if store is not None:
+        import numpy as np
+
+        from repro.telemetry.spill import iter_column_chunks
+
         id_of = store.strings.id_of
         read_id = id_of(NotificationKind.READ.value)
         sent_id = id_of(NotificationKind.SENT.value)
@@ -110,15 +114,32 @@ def _count_actions(dataset: ObservedDataset) -> tuple[int, int, int]:
         read_keys: set[tuple[int, int]] = set()
         draft_keys: set[tuple[int, int]] = set()
         sent = 0
-        message_ids = store.message_ids
-        account_ids = store.account_ids
-        for index, kind_id in enumerate(store.kind_ids):
-            if kind_id == read_id:
-                read_keys.add((account_ids[index], message_ids[index]))
-            elif kind_id == sent_id:
-                sent += 1
-            elif kind_id == draft_id:
-                draft_keys.add((account_ids[index], message_ids[index]))
+        # Chunk-aligned scan (kind/account/message columns flush in
+        # lockstep) so a spilled store never materialises a full column;
+        # vectorised masks keep the Python work to the matching rows.
+        for kind_chunk, account_chunk, message_chunk in zip(
+            iter_column_chunks(store.kind_ids, np.int64),
+            iter_column_chunks(store.account_ids, np.int64),
+            iter_column_chunks(store.message_ids, np.int64),
+        ):
+            if read_id is not None:
+                mask = kind_chunk == read_id
+                read_keys.update(
+                    zip(
+                        account_chunk[mask].tolist(),
+                        message_chunk[mask].tolist(),
+                    )
+                )
+            if sent_id is not None:
+                sent += int(np.count_nonzero(kind_chunk == sent_id))
+            if draft_id is not None:
+                mask = kind_chunk == draft_id
+                draft_keys.update(
+                    zip(
+                        account_chunk[mask].tolist(),
+                        message_chunk[mask].tolist(),
+                    )
+                )
         return len(read_keys), sent, len(draft_keys)
     read_messages: set[tuple[str, str]] = set()
     draft_messages: set[tuple[str, str]] = set()

@@ -57,6 +57,10 @@ def _read_bodies(dataset: ObservedDataset) -> tuple[int, list[str]]:
     """
     store = getattr(dataset, "notification_store", None)
     if store is not None:
+        import numpy as np
+
+        from repro.telemetry.spill import iter_column_chunks
+
         read_id = store.strings.id_of(NotificationKind.READ.value)
         seen_keys: set[tuple[int, int]] = set()
         texts: list[str] = []
@@ -64,14 +68,21 @@ def _read_bodies(dataset: ObservedDataset) -> tuple[int, list[str]]:
             bodies = store.bodies
             account_ids = store.account_ids
             message_ids = store.message_ids
-            for index, kind_id in enumerate(store.kind_ids):
-                if kind_id != read_id or not bodies[index]:
-                    continue
-                key = (account_ids[index], message_ids[index])
-                if key in seen_keys:
-                    continue
-                seen_keys.add(key)
-                texts.append(bodies[index])
+            # Chunked kind-id scan: READ rows are a sliver of the
+            # stream, so only they pay the (possibly disk-backed)
+            # body/account/message lookups.
+            base = 0
+            for kind_chunk in iter_column_chunks(store.kind_ids, np.int64):
+                matches = np.nonzero(kind_chunk == read_id)[0]
+                for index in (matches + base).tolist():
+                    if not bodies[index]:
+                        continue
+                    key = (account_ids[index], message_ids[index])
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    texts.append(bodies[index])
+                base += len(kind_chunk)
         return len(seen_keys), texts
     seen_messages: set[tuple[str, str]] = set()
     texts = []

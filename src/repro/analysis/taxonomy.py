@@ -103,21 +103,24 @@ def _action_stream(dataset: ObservedDataset):
     kind_ids = store.kind_ids
     if not kind_for_id or not len(kind_ids):
         return
-    # Vectorised prefilter over a zero-copy view of the kind-id column:
-    # heartbeats dominate the notification stream, so only the action
-    # rows (np.isin survivors, in append order) reach Python.
-    matches = np.nonzero(
-        np.isin(
-            np.frombuffer(kind_ids, dtype=np.int64),
-            np.fromiter(kind_for_id, np.int64),
-        )
-    )[0]
-    for index in matches.tolist():
-        yield (
-            kind_for_id[kind_ids[index]],
-            lookup(account_ids[index]),
-            timestamps[index],
-        )
+    # Vectorised prefilter over views of the kind-id column: heartbeats
+    # dominate the notification stream, so only the action rows
+    # (np.isin survivors, in append order) reach Python.  Chunk-wise so
+    # a spilled store streams one mmap'd chunk at a time instead of
+    # materialising the full column.
+    from repro.telemetry.spill import iter_column_chunks
+
+    wanted = np.fromiter(kind_for_id, np.int64)
+    base = 0
+    for kind_chunk in iter_column_chunks(kind_ids, np.int64):
+        matches = np.nonzero(np.isin(kind_chunk, wanted))[0]
+        for index in (matches + base).tolist():
+            yield (
+                kind_for_id[kind_ids[index]],
+                lookup(account_ids[index]),
+                timestamps[index],
+            )
+        base += len(kind_chunk)
 
 
 def classify_accesses(

@@ -35,6 +35,7 @@ from repro.analysis.report import (
 from repro.api.scenario import Scenario
 from repro.core.experiment import Experiment, ExperimentConfig, ExperimentResult
 from repro.core.records import ObservedDataset
+from repro.perf import peak_rss_kb
 
 __all__ = [
     "CVM_TESTS",
@@ -82,11 +83,22 @@ class RunResult:
     account_count: int
     elapsed_seconds: float
     perf: dict[str, float] = field(default_factory=dict)
+    #: RSS high-water mark (kB) at the end of each run phase (and of
+    #: ``analyze``, once :attr:`analysis` has been computed).  For
+    #: sharded runs: the merging parent's own high-water marks.
+    rss_kb: dict[str, int] = field(default_factory=dict)
     shard_perf: list[dict] | None = None
     experiment_result: ExperimentResult | None = field(
         default=None, repr=False, compare=False
     )
     _analysis: AnalysisResults | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Wall-clock of the first ``analysis`` computation.  Kept out of
+    #: ``perf`` (whose phase set is the run loop's contract) and
+    #: surfaced as ``perf_summary()["analyze_seconds"]``; survives
+    #: pickling so summaries stay stable across process boundaries.
+    _analyze_seconds: float | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -107,6 +119,7 @@ class RunResult:
             account_count=result.account_count,
             elapsed_seconds=elapsed_seconds,
             perf=dict(result.perf),
+            rss_kb=dict(getattr(result, "rss_kb", {}) or {}),
             experiment_result=result,
         )
 
@@ -121,9 +134,20 @@ class RunResult:
         never the module-level default.
         """
         if self._analysis is None:
+            started = time.perf_counter()
             self._analysis = analyze(
                 self.dataset, scan_period=self.config.scan_period
             )
+            elapsed = time.perf_counter() - started
+            # First computation wins: a result that crossed a process
+            # boundary keeps the original run's analyze phase instead
+            # of re-stamping it on recompute (summaries stay stable
+            # across pickle round trips).  Copy-on-write on rss_kb so
+            # results sharing a dict don't see each other's marks.
+            if self._analyze_seconds is None:
+                self._analyze_seconds = round(elapsed, 6)
+            if "analyze" not in self.rss_kb:
+                self.rss_kb = {**self.rss_kb, "analyze": peak_rss_kb()}
         return self._analysis
 
     def overview(self) -> OverviewStats:
@@ -154,17 +178,56 @@ class RunResult:
         return self.events_executed / simulate
 
     def perf_summary(self) -> dict:
-        """Throughput and per-phase wall-clock of this run."""
+        """Throughput, per-phase wall-clock, and memory of this run.
+
+        When per-phase RSS tracking is available (any run made since
+        phase RSS accounting landed), the summary also reports the
+        measurement's RSS high-water mark and the memory-efficiency
+        headline ``accounts_per_gb`` — honey accounts measured per GB
+        of peak RSS, the number the out-of-core telemetry budget exists
+        to raise.  Only marks recorded by the run itself are included:
+        the analyze-phase marks (:attr:`rss_kb` ``["analyze"]``,
+        :meth:`analyze_perf`) depend on where and when the analysis was
+        (re)computed, and summaries must compare equal across pickle
+        round trips.
+        """
         summary = {
             "events_executed": self.events_executed,
             "events_per_second": round(self.events_per_second, 2),
             "simulate_seconds": self.perf.get("simulate"),
             "phases": dict(self.perf),
         }
+        run_rss = {
+            name: kb for name, kb in self.rss_kb.items() if name != "analyze"
+        }
+        if run_rss:
+            # ru_maxrss is monotone, so the max across phases is the
+            # process high-water mark as of the last recorded phase.
+            peak = max(run_rss.values())
+            summary["peak_rss_kb"] = peak
+            summary["rss_kb"] = run_rss
+            if peak > 0:
+                summary["accounts_per_gb"] = round(
+                    self.account_count / (peak / (1024 * 1024)), 2
+                )
         if self.shard_perf is not None:
             summary["shards"] = len(self.shard_perf)
             summary["shard_phases"] = [dict(s) for s in self.shard_perf]
         return summary
+
+    def analyze_perf(self) -> dict:
+        """Wall-clock and RSS of the first ``analysis`` computation.
+
+        Empty until :attr:`analysis` has been accessed.  Kept out of
+        :meth:`perf_summary`: the marks describe whichever process
+        first computed the analysis, not the run.
+        """
+        marks: dict = {}
+        if self._analyze_seconds is not None:
+            marks["analyze_seconds"] = self._analyze_seconds
+        if "analyze" in self.rss_kb:
+            marks["analyze_peak_rss_kb"] = self.rss_kb["analyze"]
+        return marks
 
     def summary(self) -> dict:
         """A compact JSON-serialisable record of the run."""
@@ -258,7 +321,9 @@ class RunResult:
         # "shard_perf" arrived with the sharded runner and defaults the
         # same way.
         state.setdefault("perf", {})
+        state.setdefault("rss_kb", {})
         state.setdefault("shard_perf", None)
+        state.setdefault("_analyze_seconds", None)
         self.__dict__.update(state)
 
 
@@ -269,6 +334,7 @@ def run_scenario(
     on_built: Callable[[Experiment], None] | None = None,
     profile_path: str | None = None,
     jobs: int | None = None,
+    telemetry_budget=None,
 ) -> RunResult:
     """Execute one scenario run and wrap it in a :class:`RunResult`.
 
@@ -280,11 +346,17 @@ def run_scenario(
     loop to the given path (``pstats`` format; the CLI exposes it as
     ``run --profile``).
 
+    ``telemetry_budget`` (a :class:`repro.telemetry.TelemetryBudget`)
+    caps the run's resident telemetry: stores the budget plans as
+    spilled write chunked columns to disk during the measurement and
+    the analysis streams them back chunk by chunk.  The dataset and
+    analysis are bit-identical to an unbudgeted run.
+
     Scenarios with ``shards > 1`` run on the sharded executor
     (:mod:`repro.shard`) with ``jobs`` worker processes; the result is
     bit-identical to the serial path.  ``on_built`` and
     ``profile_path`` apply to in-process worlds only and are rejected
-    for sharded runs.
+    for sharded runs (``telemetry_budget`` applies to both paths).
     """
     if seed is not None:
         scenario = scenario.with_seed(seed)
@@ -299,9 +371,11 @@ def run_scenario(
             )
         from repro.shard import run_sharded
 
-        return run_sharded(scenario, jobs=jobs)
+        return run_sharded(scenario, jobs=jobs, telemetry_budget=telemetry_budget)
     started = time.perf_counter()
-    experiment = Experiment.from_scenario(scenario).build()
+    experiment = Experiment.from_scenario(
+        scenario, telemetry_budget=telemetry_budget
+    ).build()
     if on_built is not None:
         on_built(experiment)
     result = experiment.run(profile_path=profile_path)

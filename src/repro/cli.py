@@ -107,6 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "run (for measurements too large to keep resident)",
     )
     run_parser.add_argument(
+        "--telemetry-budget", type=float, default=None, metavar="MB",
+        dest="telemetry_budget",
+        help="cap resident telemetry at MB megabytes: stores that "
+        "would exceed it write chunked columns to disk during the run "
+        "and the analysis streams them back (bit-identical results; "
+        "0 spills everything)",
+    )
+    run_parser.add_argument(
+        "--spill-dir", default=None, metavar="DIR", dest="spill_dir",
+        help="directory for spilled telemetry chunks (default: a "
+        "temporary directory; implies --telemetry-budget 0 when given "
+        "alone)",
+    )
+    run_parser.add_argument(
         "--profile", default=None, metavar="FILE", dest="profile",
         help="dump a cProfile capture of the simulation loop to FILE "
         "(pstats format; inspect with 'python -m pstats FILE')",
@@ -388,11 +402,26 @@ def _command_run(args) -> int:
             experiment.monitor.spill_telemetry(args.spill_telemetry)
         )
 
+    budget = None
+    if (
+        getattr(args, "telemetry_budget", None) is not None
+        or getattr(args, "spill_dir", None)
+    ):
+        from repro.telemetry import TelemetryBudget
+
+        if args.telemetry_budget is None:
+            budget = TelemetryBudget.spill_all(spill_dir=args.spill_dir)
+        else:
+            budget = TelemetryBudget(
+                max_resident_mb=args.telemetry_budget,
+                spill_dir=args.spill_dir,
+            )
     run = run_scenario(
         scenario,
         on_built=_attach_spill if args.spill_telemetry else None,
         profile_path=args.profile,
         jobs=args.jobs,
+        telemetry_budget=budget,
     )
     for monitor in monitors:
         monitor.close_spill()

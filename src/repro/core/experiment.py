@@ -136,6 +136,10 @@ class ExperimentResult:
     events_executed: int
     blacklisted_ips: set[str] = field(default_factory=set)
     perf: dict[str, float] = field(default_factory=dict)
+    #: RSS high-water mark (kB) at the end of each run phase, from the
+    #: same :class:`~repro.perf.PhaseTimer`; budgeted runs use it to
+    #: show the simulate phase staying under the telemetry budget.
+    rss_kb: dict[str, int] = field(default_factory=dict)
     #: All account addresses in provision (= watch) order.  In a
     #: sharded run every shard provisions the full population, so this
     #: is identical across shards and gives the merge step the global
@@ -177,12 +181,17 @@ class Experiment:
         leak_plan: LeakPlan | None = None,
         persona_mix: "PersonaMix | None" = None,
         shard: ShardSpec | None = None,
+        telemetry_budget=None,
     ) -> None:
         self.config = config or ExperimentConfig()
         self.leak_plan = leak_plan or paper_leak_plan()
         #: Which attacker personas each outlet attracts; ``None`` keeps
         #: the population's default (the paper's calibrated mix).
         self.persona_mix = persona_mix
+        #: Out-of-core policy for the monitor's telemetry stores
+        #: (:class:`repro.telemetry.TelemetryBudget`); ``None`` keeps
+        #: every store resident in RAM.
+        self.telemetry_budget = telemetry_budget
         #: When set, this process simulates only the accounts the shard
         #: owns: every account is still provisioned (and every attacker
         #: profile drawn) so the RNG streams match the serial run, but
@@ -219,12 +228,18 @@ class Experiment:
         seed: int | None = None,
         *,
         shard: ShardSpec | None = None,
+        telemetry_budget=None,
     ) -> "Experiment":
         """Instantiate from a :class:`repro.api.Scenario`.
 
         ``seed`` overrides the scenario's master seed when given;
         ``shard`` restricts the run to one shard of the account
-        population (see :mod:`repro.shard`).
+        population (see :mod:`repro.shard`); ``telemetry_budget`` caps
+        the resident telemetry footprint (spilled stores go to disk).
+        The budget deliberately lives outside the scenario itself: it
+        changes where bytes sit, not what is measured, so scenario
+        hashes — and the sweep result cache keyed on them — are
+        unaffected.
         """
         if seed is not None:
             scenario = scenario.with_seed(seed)
@@ -233,6 +248,7 @@ class Experiment:
             leak_plan=scenario.leak_plan,
             persona_mix=getattr(scenario, "persona_mix", None),
             shard=shard,
+            telemetry_budget=telemetry_budget,
         )
 
     @property
@@ -264,6 +280,7 @@ class Experiment:
             city_by_name(self.config.monitor_city_name),
             scrape_period=self.config.scrape_period,
         )
+        self._configure_telemetry_budget()
         self.runtime = AppsScriptRuntime(
             self.sim, quota_notifier=self._on_quota_trip
         )
@@ -292,6 +309,30 @@ class Experiment:
         # would otherwise time an idempotent no-op as the build phase.
         self._build_seconds = time.perf_counter() - build_started
         return self
+
+    def _configure_telemetry_budget(self) -> None:
+        """Apply the telemetry budget to the freshly built monitor.
+
+        Must run before provisioning: spilling swaps a store's columns,
+        which is only legal while the store is empty.  The plan spills
+        the stores with the largest projected footprint first until the
+        remainder fits under the budget; with no budget this is a no-op
+        and every store stays a plain resident :class:`EventLog`.
+        """
+        budget = self.telemetry_budget
+        if budget is None:
+            return
+        plan = budget.plan(
+            account_count=sum(group.size for group in self.leak_plan.groups),
+            duration_days=self.config.duration_days,
+            scrape_period=self.config.scrape_period,
+            scan_period=self.config.scan_period,
+        )
+        if not any(plan.values()):
+            return
+        self.monitor.configure_spill_plan(
+            budget.resolve_spill_dir(), plan, chunk_rows=budget.chunk_rows
+        )
 
     # ------------------------------------------------------------------
     # hooks
@@ -549,7 +590,7 @@ class Experiment:
         """
         from repro.perf import PhaseTimer, capture_profile
 
-        timer = PhaseTimer()
+        timer = PhaseTimer(track_rss=True)
         with timer.phase("build"):
             self.build()
         already_built_seconds = self._build_seconds
@@ -580,6 +621,7 @@ class Experiment:
                 str(entry.address) for entry in self.blacklist
             },
             perf=perf,
+            rss_kb=timer.rss_kb,
             all_addresses=tuple(h.address for h in self.honey_accounts),
             owned_addresses=tuple(
                 h.address

@@ -244,6 +244,30 @@ class MonitorInfrastructure:
     # ------------------------------------------------------------------
     # disk spill
     # ------------------------------------------------------------------
+    def configure_spill_plan(
+        self,
+        directory: str | Path,
+        plan: dict[str, bool],
+        *,
+        chunk_rows: int | None = None,
+    ) -> None:
+        """Make the planned stores out-of-core before any row lands.
+
+        ``plan`` maps :data:`repro.telemetry.budget.PLANNED_STORES`
+        names to spill decisions (a :meth:`TelemetryBudget.plan`
+        result).  Must run before provisioning — a store only becomes
+        spillable while empty.  The lockout log is always resident (a
+        handful of rows per run).
+        """
+        directory = Path(directory)
+        for name, store in (
+            ("accesses", self.access_store),
+            ("notifications", self.notification_store),
+            ("scrape_log", self.scrape_log_store),
+        ):
+            if plan.get(name):
+                store.configure_spill(directory / name, chunk_rows=chunk_rows)
+
     def spill_telemetry(self, directory: str | Path) -> list[Path]:
         """Stream accesses and notifications to JSONL files in
         ``directory`` as they are collected (rows already gathered are

@@ -27,6 +27,7 @@ equivalence oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable
 
 from repro.core.groups import GroupSpec
@@ -164,6 +165,129 @@ class ObservedDataset:
         dataset._notification_store = notification_store
         dataset._failure_log = failure_log
         return dataset
+
+    # ------------------------------------------------------------------
+    # out-of-core backing (spill to disk, seal, reopen)
+    # ------------------------------------------------------------------
+    #: dataset store name -> backing attribute, in spill-directory order.
+    _SPILL_STORES = {
+        "accesses": "_access_store",
+        "notifications": "_notification_store",
+        "scrape_failures": "_failure_log",
+    }
+
+    _STORE_CLASSES = {
+        "accesses": AccessStore,
+        "notifications": NotificationStore,
+        "scrape_failures": ScrapeFailureLog,
+    }
+
+    def configure_spill(
+        self,
+        directory: str | Path,
+        *,
+        chunk_rows: int | None = None,
+        stores: Iterable[str] = ("accesses", "notifications"),
+    ) -> "ObservedDataset":
+        """Make the named (empty) stores spill chunks under ``directory``.
+
+        Each store gets its own subdirectory; the shared string table
+        stays resident until :meth:`detach_spilled_stores` seals it.
+        """
+        directory = Path(directory)
+        for name in stores:
+            getattr(self, self._SPILL_STORES[name]).configure_spill(
+                directory / name, chunk_rows=chunk_rows
+            )
+        return self
+
+    def detach_spilled_stores(self) -> dict:
+        """Seal every spilled store plus the string table to disk.
+
+        Returns a JSON-safe manifest (spill directory, per-store chunk
+        layout) and swaps the sealed stores for empty resident ones, so
+        the dataset itself pickles across a process boundary as a
+        lightweight shell.  :meth:`attach_spilled_stores` is the inverse.
+        """
+        from repro.telemetry import write_string_table
+        from repro.telemetry.spill import spill_manifest
+
+        spilled = {
+            name: getattr(self, attr)
+            for name, attr in self._SPILL_STORES.items()
+            if getattr(self, attr).spilled
+        }
+        if not spilled:
+            raise ValueError("detach_spilled_stores needs spilled stores")
+        base = next(iter(spilled.values())).spill_directory.parent
+        manifest = {
+            "directory": str(base),
+            "stores": {
+                name: spill_manifest(store) for name, store in spilled.items()
+            },
+        }
+        write_string_table(self._access_store.strings, base)
+        table = self._access_store.strings
+        for name in spilled:
+            setattr(
+                self,
+                self._SPILL_STORES[name],
+                self._STORE_CLASSES[name](strings=table),
+            )
+        return manifest
+
+    def attach_spilled_stores(self, manifest: dict) -> None:
+        """Reattach stores sealed by :meth:`detach_spilled_stores`.
+
+        Rows are *not* loaded: each store reopens over its chunk files,
+        and interned ids resolve through a
+        :class:`~repro.telemetry.DiskStringTable` over the sealed table.
+        """
+        from repro.telemetry import DiskStringTable
+        from repro.telemetry.spill import reopen_spilled_log
+
+        base = Path(manifest["directory"])
+        table = DiskStringTable(base)
+        for name, meta in manifest["stores"].items():
+            store = self._STORE_CLASSES[name](strings=table)
+            reopen_spilled_log(store, base / name, meta)
+            setattr(self, self._SPILL_STORES[name], store)
+
+    def spilled_copy(
+        self,
+        directory: str | Path,
+        *,
+        chunk_rows: int | None = None,
+        disk_strings: bool = True,
+    ) -> "ObservedDataset":
+        """A row-identical copy whose stores live on disk.
+
+        With ``disk_strings`` (the default) the copy is also sealed and
+        reopened, so its interned ids come from a sealed
+        :class:`~repro.telemetry.DiskStringTable` — the fully
+        out-of-core read path the fidelity benchmarks exercise.
+        """
+        copy = ObservedDataset()
+        copy.configure_spill(
+            directory, chunk_rows=chunk_rows, stores=tuple(self._SPILL_STORES)
+        )
+        for attr in self._SPILL_STORES.values():
+            source = getattr(self, attr)
+            target = getattr(copy, attr)
+            for row in source.iter_rows():
+                target.append(row)
+        copy.provenance = dict(self.provenance)
+        copy.monitor_ips = set(self.monitor_ips)
+        copy.monitor_city = self.monitor_city
+        copy.all_email_texts = {
+            address: list(texts)
+            for address, texts in self.all_email_texts.items()
+        }
+        copy.blocked_accounts = list(self.blocked_accounts)
+        copy.ground_truth_personas = dict(self.ground_truth_personas)
+        if disk_strings:
+            copy.attach_spilled_stores(copy.detach_spilled_stores())
+        return copy
 
     # ------------------------------------------------------------------
     # columnar access (analysis fast paths read these)

@@ -49,10 +49,18 @@ class PhaseTimer:
     Phases may repeat; durations accumulate under the same name.  The
     timer is deliberately dumb — no nesting, no threads — because the
     run loop it instruments is single-threaded and flat.
+
+    With ``track_rss=True`` the timer also snapshots the process RSS
+    high-water mark (:func:`peak_rss_kb`) at the end of every phase.
+    ``ru_maxrss`` is monotone, so the per-phase values read as "the
+    high-water mark as of this phase's end": the first phase whose value
+    jumps is the one that allocated.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, track_rss: bool = False) -> None:
         self._phases: dict[str, float] = {}
+        self._track_rss = track_rss
+        self._rss_kb: dict[str, int] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -63,11 +71,18 @@ class PhaseTimer:
         finally:
             elapsed = time.perf_counter() - started
             self._phases[name] = self._phases.get(name, 0.0) + elapsed
+            if self._track_rss:
+                self._rss_kb[name] = peak_rss_kb()
 
     @property
     def phases(self) -> dict[str, float]:
         """Name -> accumulated seconds, in first-execution order."""
         return dict(self._phases)
+
+    @property
+    def rss_kb(self) -> dict[str, int]:
+        """Name -> RSS high-water (kB) at phase end; empty unless tracked."""
+        return dict(self._rss_kb)
 
     @property
     def total_seconds(self) -> float:

@@ -39,6 +39,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.api.envelope import RunResult, run_scenario
 from repro.api.scenario import Scenario
@@ -77,31 +78,58 @@ class ShardRun:
     all_addresses: tuple[str, ...]
     #: The subset this shard simulated and observed.
     owned_addresses: tuple[str, ...]
+    #: Spill manifest when the worker ran under a telemetry budget and
+    #: left its chunked columns on disk (``None`` otherwise).  The
+    #: coordinator reattaches the on-disk chunks with
+    #: :meth:`~repro.core.records.ObservedDataset.attach_spilled_stores`
+    #: instead of the worker pickling the full stores back into RAM.
+    spill_manifest: dict | None = None
 
 
-def _execute_shard(task: tuple[str, int, int]) -> ShardRun:
+def _execute_shard(task: tuple) -> ShardRun:
     """Run one shard of a serialized scenario.
 
     Module-level so process pools can pickle it; the in-process path
     calls it too, guaranteeing identical execution either way (the
     same property :class:`~repro.api.runner.BatchRunner` relies on).
+
+    ``task`` is ``(scenario_json, index, count)`` plus an optional
+    trailing :meth:`TelemetryBudget.to_dict` payload with the shard's
+    spill directory already pinned by the coordinator.
     """
-    scenario_json, index, count = task
+    scenario_json, index, count, *rest = task
+    budget = None
+    if rest and rest[0] is not None:
+        from repro.telemetry import TelemetryBudget
+
+        budget = TelemetryBudget.from_dict(rest[0])
     scenario = Scenario.from_json(scenario_json)
     spec = ShardSpec(index=index, count=count)
     started = time.perf_counter()
-    experiment = Experiment.from_scenario(scenario, shard=spec)
+    experiment = Experiment.from_scenario(
+        scenario, shard=spec, telemetry_budget=budget
+    )
     result = experiment.run()
     elapsed = time.perf_counter() - started
+    dataset = result.dataset
+    spill_manifest = None
+    if budget is not None and any(
+        store.spilled
+        for store in (dataset.access_store, dataset.notification_store)
+    ):
+        # Leave the chunks where they are; ship only the manifest.  The
+        # detached dataset pickles as empty stores plus metadata.
+        spill_manifest = dataset.detach_spilled_stores()
     return ShardRun(
         spec=spec,
-        dataset=result.dataset,
+        dataset=dataset,
         events_executed=result.events_executed,
         blacklisted_ips=set(result.blacklisted_ips),
         perf=dict(result.perf),
         elapsed_seconds=elapsed,
         all_addresses=result.all_addresses,
         owned_addresses=result.owned_addresses,
+        spill_manifest=spill_manifest,
     )
 
 
@@ -158,27 +186,50 @@ def _merge_columns(target, sources, order, remaps) -> None:
     table.  Works column-at-a-time on the raw arrays — no row tuples,
     no per-value interning — which keeps the merge a small fraction of
     one shard's simulate phase even at hundreds of thousands of rows.
+
+    Both sides may be out-of-core: spilled *sources* serve reads from
+    mmap'd chunks (random access goes through a small per-file mmap
+    cache), and a spilled *target* is filled one chunk-sized batch at a
+    time, sealing each batch to disk before the next — so the merge
+    never holds more than one target chunk of row data resident.  A
+    resident target takes a single whole-``order`` batch, which is
+    byte-for-byte the old behaviour.
     """
-    for field in target.schema:
-        column = target.column(field.name)
-        shard_columns = [source.column(field.name) for source in sources]
-        if field.kind == "intern":
-            ids = [col.ids for col in shard_columns]
-            column.ids.extend(
-                [remaps[s][ids[s][r]] for s, r in order]
-            )
-        elif field.kind == "opt_f64":
-            data = [col.data for col in shard_columns]
-            mask = [col.mask for col in shard_columns]
-            column.data.extend([data[s][r] for s, r in order])
-            column.mask.extend([mask[s][r] for s, r in order])
-        else:  # f64, i64, obj — raw payloads copy through
-            data = [col.data for col in shard_columns]
-            column.data.extend([data[s][r] for s, r in order])
+    batch = target.spill_chunk_rows if target.spilled else 0
+    if not batch:
+        batch = max(len(order), 1)
+    shard_columns_by_field = {
+        field.name: [source.column(field.name) for source in sources]
+        for field in target.schema
+    }
+    for start in range(0, len(order), batch):
+        window = order[start : start + batch]
+        for field in target.schema:
+            column = target.column(field.name)
+            shard_columns = shard_columns_by_field[field.name]
+            if field.kind == "intern":
+                ids = [col.ids for col in shard_columns]
+                column.ids.extend(
+                    [remaps[s][ids[s][r]] for s, r in window]
+                )
+            elif field.kind == "opt_f64":
+                data = [col.data for col in shard_columns]
+                mask = [col.mask for col in shard_columns]
+                column.data.extend([data[s][r] for s, r in window])
+                column.mask.extend([mask[s][r] for s, r in window])
+            else:  # f64, i64, obj — raw payloads copy through
+                data = [col.data for col in shard_columns]
+                column.data.extend([data[s][r] for s, r in window])
+        if target.spilled:
+            target._maybe_flush()
 
 
 def merge_shard_runs(
-    scenario: Scenario, shard_runs: list[ShardRun]
+    scenario: Scenario,
+    shard_runs: list[ShardRun],
+    *,
+    telemetry_budget=None,
+    spill_directory=None,
 ) -> tuple[ObservedDataset, dict]:
     """Merge per-shard datasets into one, in serial append order.
 
@@ -186,6 +237,12 @@ def merge_shard_runs(
     wall-clock).  Raises :class:`ConfigurationError` when the shards
     disagree about the population or overlap in ownership — either
     means the partition itself is broken.
+
+    With a ``telemetry_budget``, the merged stores the budget plans as
+    spilled are created out-of-core up front (chunks land under
+    ``spill_directory``, default ``<budget spill dir>/merged``), so
+    merging spilled shard chunks streams disk-to-disk instead of
+    re-materialising every shard's rows in RAM.
     """
     started = time.perf_counter()
     if not shard_runs:
@@ -217,6 +274,28 @@ def merge_shard_runs(
 
     scrape_period = scenario.config.scrape_period
     merged = ObservedDataset()
+    if telemetry_budget is not None:
+        plan = telemetry_budget.plan(
+            account_count=len(reference),
+            duration_days=scenario.config.duration_days,
+            scrape_period=scenario.config.scrape_period,
+            scan_period=scenario.config.scan_period,
+        )
+        spill_stores = tuple(
+            name
+            for name in ("accesses", "notifications")
+            if plan.get(name)
+        )
+        if spill_stores:
+            if spill_directory is None:
+                spill_directory = (
+                    Path(telemetry_budget.resolve_spill_dir()) / "merged"
+                )
+            merged.configure_spill(
+                Path(spill_directory),
+                chunk_rows=telemetry_budget.chunk_rows,
+                stores=spill_stores,
+            )
     remaps = _string_remaps(merged.access_store.strings, shard_runs)
 
     # Access rows interleave at scrape ticks (a per-account property:
@@ -334,6 +413,7 @@ def run_sharded(
     shards: int | None = None,
     jobs: int | None = None,
     seed: int | None = None,
+    telemetry_budget=None,
 ) -> RunResult:
     """Run ``scenario`` across ``shards`` workers and merge the result.
 
@@ -345,6 +425,12 @@ def run_sharded(
             ``1`` runs the shards sequentially in this process — same
             result, no pool (useful for tests and debugging).
         seed: master-seed override, as in ``Scenario.run``.
+        telemetry_budget: out-of-core telemetry policy applied to every
+            worker *and* the merge.  One spill directory is resolved
+            here and partitioned as ``shard-<i>/`` per worker plus
+            ``merged/`` for the coordinator; workers ship chunk
+            manifests back instead of pickled row data, and the merge
+            streams shard chunks into merged chunks.
 
     The returned :class:`RunResult` carries the merged dataset, the
     union of blacklist snapshots, summed event counts, critical-path
@@ -362,14 +448,32 @@ def run_sharded(
         # Force the scenario serial too: run_scenario dispatches
         # shards > 1 scenarios back here, so an explicit shards=1
         # override must not leave the field set.
-        return run_scenario(scenario.with_shards(1))
+        return run_scenario(
+            scenario.with_shards(1), telemetry_budget=telemetry_budget
+        )
     # Workers re-read the shard count from the serialized scenario;
     # keep the two in sync even when ``shards`` came in as an override.
     if scenario.shards != shards:
         scenario = scenario.with_shards(shards)
     started = time.perf_counter()
     serialized = scenario.to_json()
-    tasks = [(serialized, index, shards) for index in range(shards)]
+    spill_base: Path | None = None
+    budget_dicts: list[dict | None] = [None] * shards
+    if telemetry_budget is not None:
+        # Resolve the directory once in the coordinator so an
+        # unconfigured budget doesn't hand every worker its own
+        # unrelated tempdir; workers then spill under shard-<i>/.
+        spill_base = Path(telemetry_budget.resolve_spill_dir())
+        budget_dicts = [
+            telemetry_budget.with_spill_dir(
+                spill_base / f"shard-{index}"
+            ).to_dict()
+            for index in range(shards)
+        ]
+    tasks = [
+        (serialized, index, shards, budget_dicts[index])
+        for index in range(shards)
+    ]
     if jobs is None:
         jobs = min(shards, os.cpu_count() or 1)
     if jobs <= 1:
@@ -377,7 +481,17 @@ def run_sharded(
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, shards)) as pool:
             shard_runs = list(pool.map(_execute_shard, tasks))
-    dataset, diagnostics = merge_shard_runs(scenario, shard_runs)
+    for run in shard_runs:
+        if run.spill_manifest is not None:
+            run.dataset.attach_spilled_stores(run.spill_manifest)
+    dataset, diagnostics = merge_shard_runs(
+        scenario,
+        shard_runs,
+        telemetry_budget=telemetry_budget,
+        spill_directory=(
+            None if spill_base is None else spill_base / "merged"
+        ),
+    )
     elapsed = time.perf_counter() - started
 
     phases = sorted({name for run in shard_runs for name in run.perf})

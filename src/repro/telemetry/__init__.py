@@ -20,14 +20,28 @@ gives that stream a compact, typed representation:
   typed row objects lazily, keeping the historical ``list``-of-dataclass
   API intact on top of the columnar store.
 
+Stores can also leave RAM entirely: :meth:`EventLog.configure_spill`
+swaps a log's columns for chunked, disk-spillable twins
+(:mod:`repro.telemetry.spill`), :class:`TelemetryBudget` decides
+resident-vs-spilled per store for a run's shape, and
+:class:`DiskStringTable` serves interned ids from a sealed on-disk
+table — all behind the same cursor/row/column APIs.
+
 The package is a leaf: it imports nothing from the rest of ``repro``,
 so every layer (webmail, core, analysis, api, cli) can depend on it.
+The numpy-backed spill machinery is re-exported lazily so importing
+``repro.telemetry`` stays cheap for callers that never spill.
 """
 
 from repro.telemetry.aggregates import CountByKey, OnlineStats, StreamingECDF
+from repro.telemetry.budget import TelemetryBudget
 from repro.telemetry.columns import Field, make_column
 from repro.telemetry.eventlog import EventCursor, EventLog, RowView
-from repro.telemetry.interning import StringTable
+from repro.telemetry.interning import (
+    DiskStringTable,
+    StringTable,
+    write_string_table,
+)
 from repro.telemetry.sinks import JsonlSink, read_jsonl, write_jsonl
 from repro.telemetry.stores import (
     ACCESS_FIELDS,
@@ -38,10 +52,33 @@ from repro.telemetry.stores import (
     ScrapeLogStore,
 )
 
+_SPILL_NAMES = frozenset(
+    {
+        "DEFAULT_CHUNK_ROWS",
+        "ChunkFile",
+        "SpilledArray",
+        "SpilledObjects",
+        "iter_column_chunks",
+        "make_spillable_column",
+        "reopen_spilled_log",
+        "spill_manifest",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SPILL_NAMES:
+        from repro.telemetry import spill
+
+        return getattr(spill, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ACCESS_FIELDS",
     "AccessStore",
     "CountByKey",
+    "DiskStringTable",
     "EventCursor",
     "EventLog",
     "Field",
@@ -54,7 +91,10 @@ __all__ = [
     "ScrapeLogStore",
     "StreamingECDF",
     "StringTable",
+    "TelemetryBudget",
     "make_column",
     "read_jsonl",
     "write_jsonl",
+    "write_string_table",
+    *sorted(_SPILL_NAMES),
 ]

@@ -33,6 +33,12 @@ class CountByKey:
         key = self._key(row)
         self.counts[key] = self.counts.get(key, 0) + 1
 
+    def update_many(self, keys) -> None:
+        """Fold a batch of pre-extracted keys in (one column chunk)."""
+        counts = self.counts
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+
     def total(self) -> int:
         return sum(self.counts.values())
 
@@ -120,6 +126,16 @@ class StreamingECDF:
         if sample is None:
             return
         self._samples.append(sample)
+        self._sorted = None
+
+    def extend(self, samples) -> None:
+        """Fold a batch of pre-extracted samples in (one column chunk).
+
+        Accepts any iterable of floats — including a numpy chunk from
+        :func:`repro.telemetry.spill.iter_column_chunks` — without
+        materialising row tuples.
+        """
+        self._samples.extend(float(sample) for sample in samples)
         self._sorted = None
 
     def __len__(self) -> int:

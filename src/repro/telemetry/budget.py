@@ -1,0 +1,173 @@
+"""Resident-vs-spilled policy for the telemetry stores.
+
+A :class:`TelemetryBudget` is the one knob a caller turns to make a run
+out-of-core: "keep at most this many MB of telemetry resident, spill
+the rest under this directory".  The budget projects each store's
+resident footprint from the run's shape (accounts, window length,
+scrape/scan cadence) and spills the biggest stores first until the
+projected resident total fits.  The projection constants are calibrated
+against the committed ``BENCH_run.json`` ``scaled_200`` workload and
+deliberately err high — an over-estimate spills a store that would have
+fit, which costs a little I/O; an under-estimate blows the budget.
+
+The object is a frozen dataclass so it can ride inside sharded-run task
+tuples (as a plain dict via :meth:`to_dict`) without touching the
+scenario JSON that content-addresses sweep cells.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Default rows per spilled chunk (mirrors ``repro.telemetry.spill``;
+#: duplicated here so this module stays numpy-free and cheap to import).
+DEFAULT_CHUNK_ROWS = 65536
+
+SECONDS_PER_DAY = 86400.0
+
+#: Approximate resident bytes per row, per store.  An access row is 14
+#: array slots (8 B each) plus its amortised share of interned strings;
+#: a notification row carries a Python-object message body on top of
+#: its 6 slots; a scrape-log row is 4 slots.
+ACCESS_ROW_BYTES = 160.0
+NOTIFICATION_ROW_BYTES = 700.0
+SCRAPE_LOG_ROW_BYTES = 48.0
+
+#: Calibration from BENCH_run.json scaled_200 (236 days, 2 h scrapes):
+#: 220115 access rows and 36441 notification rows over 200 accounts.
+#: Expressed per account-day so the projection scales with the window.
+ACCESS_ROWS_PER_ACCOUNT_DAY = 6.0
+NOTIFICATION_ROWS_PER_ACCOUNT_DAY = 1.2
+
+#: The store names a budget plans over (the failure log is a few rows
+#: per account over a whole run — never worth spilling).
+PLANNED_STORES = ("accesses", "notifications", "scrape_log")
+
+
+@dataclass(frozen=True)
+class TelemetryBudget:
+    """Cap on resident telemetry bytes, with spill placement.
+
+    Args:
+        max_resident_mb: projected resident telemetry above this many
+            MB is spilled to disk.  ``0`` spills every planned store;
+            ``None`` disables spilling (everything stays resident).
+        spill_dir: where chunk files land.  ``None`` resolves to a
+            fresh temporary directory per run.
+        chunk_rows: rows per on-disk chunk.
+    """
+
+    max_resident_mb: float | None = None
+    spill_dir: str | None = None
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
+
+    @classmethod
+    def spill_all(
+        cls,
+        spill_dir: str | None = None,
+        *,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> "TelemetryBudget":
+        """A budget that spills every planned store unconditionally."""
+        return cls(max_resident_mb=0.0, spill_dir=spill_dir, chunk_rows=chunk_rows)
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_resident_mb is None
+
+    def resolve_spill_dir(self) -> Path:
+        """The directory spill files go under (created if needed)."""
+        if self.spill_dir is not None:
+            directory = Path(self.spill_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            return directory
+        return Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+
+    def projected_bytes(
+        self,
+        *,
+        account_count: int,
+        duration_days: float,
+        scrape_period: float,
+        scan_period: float,
+    ) -> dict[str, float]:
+        """Projected resident bytes per planned store for a run shape."""
+        account_days = account_count * duration_days
+        scrapes_per_account = duration_days * SECONDS_PER_DAY / scrape_period
+        return {
+            "accesses": (
+                ACCESS_ROWS_PER_ACCOUNT_DAY * account_days * ACCESS_ROW_BYTES
+            ),
+            "notifications": (
+                NOTIFICATION_ROWS_PER_ACCOUNT_DAY
+                * account_days
+                * NOTIFICATION_ROW_BYTES
+            ),
+            # One diagnostic row per account per scrape tick, always.
+            "scrape_log": (
+                account_count * scrapes_per_account * SCRAPE_LOG_ROW_BYTES
+            ),
+        }
+
+    def plan(
+        self,
+        *,
+        account_count: int,
+        duration_days: float,
+        scrape_period: float,
+        scan_period: float,
+    ) -> dict[str, bool]:
+        """Which stores spill (``name -> True``) for a run shape.
+
+        Spills the biggest projected stores first until the remaining
+        resident projection fits ``max_resident_mb``; deterministic for
+        a given shape, so serial and sharded runs agree.
+        """
+        plan = {name: False for name in PLANNED_STORES}
+        if self.max_resident_mb is None:
+            return plan
+        projected = self.projected_bytes(
+            account_count=account_count,
+            duration_days=duration_days,
+            scrape_period=scrape_period,
+            scan_period=scan_period,
+        )
+        budget_bytes = self.max_resident_mb * 1024 * 1024
+        resident_total = sum(projected.values())
+        for name in sorted(projected, key=projected.get, reverse=True):
+            if resident_total <= budget_bytes:
+                break
+            plan[name] = True
+            resident_total -= projected[name]
+        return plan
+
+    # ------------------------------------------------------------------
+    # transport (sharded-run task tuples)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "max_resident_mb": self.max_resident_mb,
+            "spill_dir": self.spill_dir,
+            "chunk_rows": self.chunk_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryBudget":
+        return cls(
+            max_resident_mb=data.get("max_resident_mb"),
+            spill_dir=data.get("spill_dir"),
+            chunk_rows=data.get("chunk_rows", DEFAULT_CHUNK_ROWS),
+        )
+
+    def with_spill_dir(self, spill_dir: str | Path) -> "TelemetryBudget":
+        """A copy pinned to ``spill_dir`` (sharded workers get subdirs)."""
+        return TelemetryBudget(
+            max_resident_mb=self.max_resident_mb,
+            spill_dir=str(spill_dir),
+            chunk_rows=self.chunk_rows,
+        )
+
+
+__all__ = ["DEFAULT_CHUNK_ROWS", "PLANNED_STORES", "TelemetryBudget"]

@@ -19,6 +19,12 @@ Kinds:
 ``obj``
     arbitrary Python payloads in a plain list (message bodies — large,
     mostly unique, not worth interning).
+
+Each numeric column class declares the stdlib ``array`` typecode(s) of
+its backing storage (``typecode``/``mask_typecode``); the out-of-core
+twins in :mod:`repro.telemetry.spill` subclass these classes, map the
+typecodes to numpy dtypes, and swap the backing containers for
+disk-spillable ones — everything else here is inherited unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ class Field:
 class FloatColumn:
     __slots__ = ("data",)
     kind = "f64"
+    typecode = "d"
 
     def __init__(self) -> None:
         self.data = array("d")
@@ -73,6 +80,8 @@ class FloatColumn:
 class OptionalFloatColumn:
     __slots__ = ("data", "mask")
     kind = "opt_f64"
+    typecode = "d"
+    mask_typecode = "b"
 
     def __init__(self) -> None:
         self.data = array("d")
@@ -114,6 +123,7 @@ class OptionalFloatColumn:
 class IntColumn:
     __slots__ = ("data",)
     kind = "i64"
+    typecode = "q"
 
     def __init__(self) -> None:
         self.data = array("q")
@@ -148,6 +158,7 @@ class InternedColumn:
 
     __slots__ = ("ids", "strings")
     kind = "intern"
+    typecode = "q"
 
     def __init__(self, strings: StringTable) -> None:
         self.ids = array("q")

@@ -22,10 +22,27 @@ not in a post-hoc pass.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 from repro.telemetry.columns import Field, make_column
 from repro.telemetry.interning import StringTable
+
+
+class _SpillState:
+    """Bookkeeping for a spill-configured log.
+
+    ``tail0`` is the first column's resident tail container; its length
+    is the log's pending-row count (columns flush in lockstep), checked
+    once per append without any method dispatch.
+    """
+
+    __slots__ = ("directory", "chunk_rows", "tail0")
+
+    def __init__(self, *, directory: Path, chunk_rows: int, tail0) -> None:
+        self.directory = directory
+        self.chunk_rows = chunk_rows
+        self.tail0 = tail0
 
 
 class EventLog(Sequence):
@@ -54,6 +71,7 @@ class EventLog(Sequence):
         ]
         self._by_name = dict(zip((f.name for f in self.schema), self._columns))
         self._sinks: list = []
+        self._spill: _SpillState | None = None
 
     # ------------------------------------------------------------------
     # writing
@@ -70,6 +88,8 @@ class EventLog(Sequence):
             column.append(value)
         for sink in self._sinks:
             sink.write(index, row, self)
+        if self._spill is not None:
+            self._maybe_flush()
         return index
 
     def _notify_sinks(self, index: int) -> None:
@@ -78,6 +98,76 @@ class EventLog(Sequence):
             row = self.row(index)
             for sink in self._sinks:
                 sink.write(index, row, self)
+
+    # ------------------------------------------------------------------
+    # spilling (out-of-core backing)
+    # ------------------------------------------------------------------
+    def configure_spill(
+        self, directory: str | Path, *, chunk_rows: int | None = None
+    ) -> "EventLog":
+        """Swap this (empty) log's columns for disk-spillable ones.
+
+        Appends keep landing in resident per-column tails; whenever the
+        tail reaches ``chunk_rows`` rows, all columns flush one aligned
+        chunk to files under ``directory``.  Every read API — ``row``,
+        cursors, :class:`RowView`, column iteration — keeps working
+        with global indices, so callers cannot tell a spilled log from
+        a resident one.
+        """
+        if len(self):
+            raise ValueError("configure_spill requires an empty log")
+        from repro.telemetry.spill import (
+            DEFAULT_CHUNK_ROWS,
+            make_spillable_column,
+        )
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._columns = [
+            make_spillable_column(field.kind, self.strings, directory, field.name)
+            for field in self.schema
+        ]
+        self._by_name = dict(zip((f.name for f in self.schema), self._columns))
+        self._spill = _SpillState(
+            directory=directory,
+            chunk_rows=chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS,
+            tail0=self._columns[0].tail_container(),
+        )
+        self._after_restore()
+        return self
+
+    @property
+    def spilled(self) -> bool:
+        """Whether this log's columns spill to disk."""
+        return self._spill is not None
+
+    @property
+    def spill_directory(self) -> Path | None:
+        return self._spill.directory if self._spill is not None else None
+
+    @property
+    def spill_chunk_rows(self) -> int | None:
+        return self._spill.chunk_rows if self._spill is not None else None
+
+    @property
+    def spilled_rows(self) -> int:
+        """Rows currently living on disk (0 for a resident log)."""
+        if self._spill is None:
+            return 0
+        return len(self) - len(self._spill.tail0)
+
+    def _maybe_flush(self) -> None:
+        spill = self._spill
+        if len(spill.tail0) >= spill.chunk_rows:
+            for column in self._columns:
+                column.flush_tail()
+
+    def flush_spill(self) -> None:
+        """Flush any partial tail chunk to disk (a seal step)."""
+        spill = self._spill
+        if spill is not None and len(spill.tail0):
+            for column in self._columns:
+                column.flush_tail()
 
     # ------------------------------------------------------------------
     # reading
@@ -96,7 +186,16 @@ class EventLog(Sequence):
         return self.row(index)
 
     def __iter__(self) -> Iterator[tuple]:
-        return self.rows()
+        return self.iter_rows()
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate all row tuples column-streaming-wise.
+
+        Equivalent to ``rows()`` but walks each column's own value
+        iterator in lockstep instead of random-accessing every row — on
+        a spilled log this reads each disk chunk exactly once.
+        """
+        return zip(*(column.values() for column in self._columns))
 
     def rows(self, start: int = 0, stop: int | None = None) -> Iterator[tuple]:
         """Iterate row tuples in append order."""
@@ -132,8 +231,8 @@ class EventLog(Sequence):
     def attach_sink(self, sink, *, replay: bool = False) -> None:
         """Attach a sink; with ``replay`` it first sees existing rows."""
         if replay:
-            for index in range(len(self)):
-                sink.write(index, self.row(index), self)
+            for index, row in enumerate(self.iter_rows()):
+                sink.write(index, row, self)
         self._sinks.append(sink)
 
     def detach_sink(self, sink) -> None:
@@ -200,6 +299,7 @@ class EventLog(Sequence):
             zip((f.name for f in self.schema), self._columns)
         )
         self._sinks = []
+        self._spill = None
         for column, raw in zip(self._columns, state["columns"]):
             column.load_raw(raw)
         self._after_restore()

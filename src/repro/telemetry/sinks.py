@@ -12,6 +12,7 @@ for finished logs.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.telemetry.columns import Field
@@ -24,18 +25,23 @@ class JsonlSink:
     The file handle stays open between writes (appends are the hot
     path); call :meth:`close` — or use the sink as a context manager —
     when the producing run finishes.
+
+    Durability discipline (mirrors the results-store sidecar commits):
+    the file is opened line-buffered and each record is written as one
+    whole line, so a writer killed mid-run leaves only complete JSONL
+    lines behind; :meth:`close` flushes and fsyncs before releasing the
+    handle, so a clean close survives power loss too.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("w", encoding="utf-8")
+        self._handle = self.path.open("w", encoding="utf-8", buffering=1)
         self.rows_written = 0
 
     def write(self, index: int, row: tuple, log: EventLog) -> None:
         record = dict(zip(log.field_names(), row))
-        self._handle.write(json.dumps(record, sort_keys=True))
-        self._handle.write("\n")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self.rows_written += 1
 
     def flush(self) -> None:
@@ -44,6 +50,8 @@ class JsonlSink:
 
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
 
     def __enter__(self) -> "JsonlSink":
@@ -54,11 +62,15 @@ class JsonlSink:
 
 
 def write_jsonl(log: EventLog, path: str | Path) -> Path:
-    """Dump a finished log to ``path`` as JSON lines; returns the path."""
+    """Dump a finished log to ``path`` as JSON lines; returns the path.
+
+    Streams ``log.iter_rows()`` so a spilled log is read one disk chunk
+    at a time instead of being random-accessed row by row.
+    """
     path = Path(path)
     with JsonlSink(path) as sink:
-        for index in range(len(log)):
-            sink.write(index, log.row(index), log)
+        for index, row in enumerate(log.iter_rows()):
+            sink.write(index, row, log)
     return path
 
 

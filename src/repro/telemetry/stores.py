@@ -155,6 +155,8 @@ class AccessStore(EventLog):
         a_ts(timestamp)
         if self._sinks:
             self._notify_sinks(index)
+        if self._spill is not None:
+            self._maybe_flush()
         return index
 
 
@@ -195,6 +197,8 @@ class NotificationStore(EventLog):
         self.bodies.append(body_copy)
         if self._sinks:
             self._notify_sinks(index)
+        if self._spill is not None:
+            self._maybe_flush()
         return index
 
 
@@ -230,6 +234,8 @@ class ScrapeLogStore(EventLog):
         self.event_counts.append(new_events)
         if self._sinks:
             self._notify_sinks(index)
+        if self._spill is not None:
+            self._maybe_flush()
         return index
 
 
