@@ -71,6 +71,85 @@ _ACTION_KINDS = {
     NotificationKind.DRAFT,
 }
 
+#: Actions further than this from any observed access window belong to
+#: post-lockout activity the measurement cannot attribute (the paper had
+#: the same blind spot after password changes).
+ATTRIBUTION_HORIZON: float = hours(24)
+
+
+def attribution_margin(scan_period: float) -> float:
+    """Window padding: scripts report changes up to one scan late."""
+    return scan_period * 1.5
+
+
+# ----------------------------------------------------------------------
+# Incremental attribution core
+#
+# Both the batch path below and the online classifier
+# (:mod:`repro.service.classifier`) attribute actions and lockouts to
+# access *spans* — ``(t0, t_last)`` pairs per unique access of one
+# account — through these two functions, so live labels match what a
+# batch ``analyze()`` would assign on the same event prefix.  Spans must
+# be listed in the batch candidate order: ascending ``(t0, cookie_id)``.
+# ----------------------------------------------------------------------
+
+
+def nearest_span_index(
+    spans,
+    timestamp: float,
+    *,
+    margin: float,
+    horizon: float = ATTRIBUTION_HORIZON,
+) -> int | None:
+    """Index of the span whose padded window is nearest ``timestamp``.
+
+    Distance is zero inside ``[t0 - margin, t_last + margin]``, else the
+    gap to the nearest window edge; the first minimal span in list order
+    wins ties.  Returns ``None`` when no span is within ``horizon``.
+    """
+    best = -1
+    best_distance = float("inf")
+    for index, (t0, t_last) in enumerate(spans):
+        start = t0 - margin
+        end = t_last + margin
+        if start <= timestamp <= end:
+            distance = 0.0
+        else:
+            distance = min(
+                abs(timestamp - start),
+                abs(timestamp - end),
+            )
+        if distance < best_distance:
+            best_distance = distance
+            best = index
+    if best < 0 or best_distance > horizon:
+        return None
+    return best
+
+
+def lockout_target_index(spans, lockout_time: float) -> int | None:
+    """Index of the span a scraper lockout implicates (hijacker label).
+
+    The access whose window is nearest *before* the lockout gets the
+    label; when no span starts before it, the nearest overall does.
+    """
+    if not spans:
+        return None
+    pool = [
+        index for index, (t0, _) in enumerate(spans) if t0 <= lockout_time
+    ] or range(len(spans))
+    return min(pool, key=lambda i: abs(lockout_time - spans[i][1]))
+
+
+def action_label(kind: NotificationKind) -> TaxonomyLabel | None:
+    """The taxonomy label one attributed action implies (``None`` for
+    drafts, which are counted but label nothing)."""
+    if kind is NotificationKind.SENT:
+        return TaxonomyLabel.SPAMMER
+    if kind is NotificationKind.DRAFT:
+        return None
+    return TaxonomyLabel.GOLD_DIGGER
+
 
 def _action_stream(dataset: ObservedDataset):
     """Yield ``(kind, account_address, timestamp)`` for action
@@ -134,32 +213,20 @@ def classify_accesses(
     by_account: dict[str, list[ClassifiedAccess]] = {}
     for item in classified:
         by_account.setdefault(item.access.account_address, []).append(item)
+    spans_by_account = {
+        address: [(c.access.t0, c.access.t_last) for c in candidates]
+        for address, candidates in by_account.items()
+    }
 
-    margin = scan_period * 1.5
+    margin = attribution_margin(scan_period)
     for kind, account_address, timestamp in _action_stream(dataset):
-        candidates = by_account.get(account_address)
-        if not candidates:
+        spans = spans_by_account.get(account_address)
+        if not spans:
             continue
-        best: ClassifiedAccess | None = None
-        best_distance = float("inf")
-        for item in candidates:
-            start = item.access.t0 - margin
-            end = item.access.t_last + margin
-            if start <= timestamp <= end:
-                distance = 0.0
-            else:
-                distance = min(
-                    abs(timestamp - start),
-                    abs(timestamp - end),
-                )
-            if distance < best_distance:
-                best_distance = distance
-                best = item
-        # Actions more than a day away from any observed access belong to
-        # post-lockout activity we cannot attribute (the paper had the
-        # same blind spot after password changes).
-        if best is None or best_distance > hours(24):
+        index = nearest_span_index(spans, timestamp, margin=margin)
+        if index is None:
             continue
+        best = by_account[account_address][index]
         if kind is NotificationKind.SENT:
             best.labels.add(TaxonomyLabel.SPAMMER)
             best.attributed_sends += 1
@@ -172,15 +239,12 @@ def classify_accesses(
     # Hijackers: the scraper lockout reveals the password change; the
     # access whose window is nearest before the lockout gets the label.
     for address, lockout_time in dataset.scrape_failures:
-        candidates = by_account.get(address)
-        if not candidates:
+        spans = spans_by_account.get(address)
+        if not spans:
             continue
-        before = [c for c in candidates if c.access.t0 <= lockout_time]
-        pool = before or candidates
-        nearest = min(
-            pool, key=lambda c: abs(lockout_time - c.access.t_last)
-        )
-        nearest.labels.add(TaxonomyLabel.HIJACKER)
+        index = lockout_target_index(spans, lockout_time)
+        if index is not None:
+            by_account[address][index].labels.add(TaxonomyLabel.HIJACKER)
 
     for item in classified:
         if not item.labels:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 from repro.attackers.personas import (
@@ -186,9 +187,11 @@ class AttackerAgent:
     def _schedule_visit(self, at_time: float, *, is_first: bool) -> None:
         if at_time <= self._sim.now:
             at_time = self._sim.now + 1.0
+        # partial, not a closure: scheduled callbacks must pickle for
+        # simulation checkpointing (repro.service.checkpoint).
         self._sim.schedule_at(
             at_time,
-            lambda: self._visit(is_first=is_first),
+            partial(self._visit, is_first=is_first),
             label=f"visit:{self.profile.attacker_id}",
         )
 
@@ -234,7 +237,7 @@ class AttackerAgent:
             end_time = now + visit_length
             self._sim.schedule_at(
                 end_time,
-                lambda: self._relogin(end_time),
+                partial(self._relogin, end_time),
                 label=f"relogin:{profile.attacker_id}",
             )
 

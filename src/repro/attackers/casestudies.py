@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.errors import WebmailError
 from repro.netsim.cities import cities_in_region
@@ -102,9 +103,11 @@ class BlackmailCampaign:
         """Schedule the campaign visits."""
         for index, (address, password) in enumerate(self._targets):
             at_time = days(self.start_day + index * 1.5)
+            # partials, not closures: the event queue must pickle for
+            # simulation checkpointing (repro.service.checkpoint).
             self.sim.schedule_at(
                 at_time,
-                lambda a=address, p=password: self._run_on_account(a, p),
+                partial(self._run_on_account, address, password),
                 label=f"blackmail:{address}",
             )
 
@@ -161,9 +164,7 @@ class BlackmailCampaign:
             delay = days(self.rng.uniform(8.0, 30.0))
             self.sim.schedule_at(
                 now + delay,
-                lambda a=address, p=password, i=reader_index: (
-                    self._follow_up_read(a, p, i)
-                ),
+                partial(self._follow_up_read, address, password, reader_index),
                 label=f"blackmail-reader:{address}",
             )
 
@@ -212,7 +213,7 @@ class CardingForumRegistration:
     def schedule(self, account_address: str, at_day: float = 70.0) -> None:
         self.sim.schedule_at(
             days(at_day),
-            lambda: self._deliver_confirmation(account_address),
+            partial(self._deliver_confirmation, account_address),
             label=f"carding-reg:{account_address}",
         )
 

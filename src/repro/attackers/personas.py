@@ -382,6 +382,24 @@ class PersonaRegistry:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __reduce__(self):
+        # The process-wide registry pickles by reference, never by
+        # value: serializing its entries would drag every registered
+        # factory into the payload (including ones defined in modules
+        # the unpickling process cannot import, e.g. ad-hoc personas a
+        # test registered), and a receiving process wants *its*
+        # registry anyway.  Custom registries still pickle by value.
+        if self is personas:
+            return (_process_registry, ())
+        return (PersonaRegistry, (), self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def _process_registry() -> "PersonaRegistry":
+    return personas
+
 
 #: The process-wide registry every entry point consults.
 personas = PersonaRegistry()

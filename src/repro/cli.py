@@ -5,6 +5,10 @@ Usage::
     python -m repro run --seed 2016 --out results/
     python -m repro run --scenario paste_only --seed 7
     python -m repro run --persona-mix 'curious=0.5,stuffing_bot=0.5'
+    python -m repro run --checkpoint-every 30 --checkpoint-dir ckpt/
+    python -m repro run --resume-from ckpt/checkpoint_day_30.pkl
+    python -m repro serve --wal events.wal --checkpoint service.ckpt
+    python -m repro serve --scenario fast --shutdown-after-feed
     python -m repro tables --seed 2016 --out results/
     python -m repro scenarios                 # list the registry
     python -m repro scenarios paste_only      # describe one entry
@@ -156,6 +160,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "(canonical form; equal fingerprints mean field-for-field "
         "equal results — the sharded-equivalence smoke check in CI "
         "compares these)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="DAYS",
+        dest="checkpoint_every",
+        help="snapshot the whole mid-horizon simulation every DAYS "
+        "simulated days; a snapshot resumes with --resume-from and "
+        "finishes bit-identical to the uninterrupted run",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        dest="checkpoint_dir",
+        help="directory for --checkpoint-every snapshots "
+        "(default: checkpoints/)",
+    )
+    run_parser.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        dest="resume_from",
+        help="resume a --checkpoint-every snapshot to its horizon "
+        "instead of starting a new run",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the live ingestion API (online classification, "
+        "/stats dashboard, write-ahead log, checkpoint on shutdown)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = pick a free one; the chosen "
+        "port is printed as 'serving on http://HOST:PORT')",
+    )
+    serve_parser.add_argument(
+        "--wal", default=None, metavar="FILE",
+        help="write-ahead log: every accepted event is journaled to "
+        "FILE before it mutates state; an existing FILE is replayed "
+        "on startup and appended to",
+    )
+    serve_parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="service checkpoint: loaded (with the WAL tail past it) "
+        "on startup, rewritten on graceful shutdown",
+    )
+    serve_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="also run this registry scenario and stream its "
+        "telemetry into the service over its own HTTP API "
+        "(default: serve only, wait for an external feed)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=2016,
+        help="master seed for --scenario (default: 2016)",
+    )
+    serve_parser.add_argument(
+        "--duration-days", type=float, default=None, metavar="DAYS",
+        help="override the --scenario measurement window length",
+    )
+    serve_parser.add_argument(
+        "--feed-batch", type=int, default=256, metavar="N",
+        dest="feed_batch",
+        help="events per --scenario feed POST (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--shutdown-after-feed", action="store_true",
+        dest="shutdown_after_feed",
+        help="gracefully shut down once the --scenario feed "
+        "completes (the CI smoke mode)",
     )
 
     scenarios_parser = subparsers.add_parser(
@@ -385,6 +459,10 @@ def _resolve_scenario(args) -> Scenario:
 
 
 def _command_run(args) -> int:
+    if args.resume_from is not None:
+        return _run_resumed(args)
+    if args.checkpoint_every is not None:
+        return _run_checkpointed(args)
     scenario = _resolve_scenario(args)
     if args.shards is not None:
         if args.shards > 1 and (args.spill_telemetry or args.profile):
@@ -425,9 +503,79 @@ def _command_run(args) -> int:
     )
     for monitor in monitors:
         monitor.close_spill()
+    return _report_run(run, args, spilled=spilled)
+
+
+def _run_checkpointed(args) -> int:
+    """``run --checkpoint-every DAYS``: snapshot the simulation as it
+    advances; every snapshot resumes with ``--resume-from``."""
+    from repro.service import run_with_checkpoints
+
+    incompatible = [
+        flag
+        for flag, value in (
+            ("--shards", args.shards),
+            ("--jobs", args.jobs),
+            ("--spill-telemetry", args.spill_telemetry),
+            ("--telemetry-budget", args.telemetry_budget),
+            ("--spill-dir", args.spill_dir),
+            ("--profile", args.profile),
+        )
+        if value is not None
+    ]
+    if incompatible:
+        raise ConfigurationError(
+            "--checkpoint-every snapshots one in-process world; it "
+            f"cannot be combined with {', '.join(incompatible)}"
+        )
+    scenario = _resolve_scenario(args)
+    run, paths = run_with_checkpoints(
+        scenario,
+        every_days=args.checkpoint_every,
+        directory=args.checkpoint_dir,
+    )
+    for path in paths:
+        print(f"wrote checkpoint: {path}")
+    return _report_run(run, args)
+
+
+def _run_resumed(args) -> int:
+    """``run --resume-from FILE``: finish a checkpointed run."""
+    from repro.service import resume_run
+
+    incompatible = [
+        flag
+        for flag, value in (
+            ("--scenario", args.scenario),
+            ("--scenario-file", args.scenario_file),
+            ("--paper-cadence", args.paper_cadence or None),
+            ("--persona-mix", args.persona_mix),
+            ("--duration-days", args.duration_days),
+            ("--checkpoint-every", args.checkpoint_every),
+            ("--shards", args.shards),
+            ("--jobs", args.jobs),
+            ("--spill-telemetry", args.spill_telemetry),
+            ("--telemetry-budget", args.telemetry_budget),
+            ("--spill-dir", args.spill_dir),
+            ("--profile", args.profile),
+        )
+        if value is not None
+    ]
+    if incompatible:
+        raise ConfigurationError(
+            "--resume-from continues the checkpointed run as it was "
+            f"configured; it cannot be combined with "
+            f"{', '.join(incompatible)}"
+        )
+    run = resume_run(args.resume_from)
+    print(f"resumed from checkpoint: {args.resume_from}")
+    return _report_run(run, args)
+
+
+def _report_run(run, args, *, spilled: list | None = None) -> int:
     stats = run.overview()
     print(f"measurement complete in {run.elapsed_seconds:.1f}s "
-          f"(scenario={scenario.name}, seed={run.seed}, "
+          f"(scenario={run.scenario.name}, seed={run.seed}, "
           f"{run.events_executed} events, "
           f"{run.events_per_second:,.0f} events/s)")
     if run.shard_perf:
@@ -461,7 +609,7 @@ def _command_run(args) -> int:
             run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
         )
         print(f"exported {len(written)} files to {args.out}")
-    if args.spill_telemetry:
+    if spilled:
         for path in spilled:
             print(f"spilled telemetry stream: {path}")
     if args.telemetry_out:
@@ -489,6 +637,75 @@ def _command_tables(args) -> int:
             run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
         )
         print(f"\nexported {len(written)} files to {args.out}")
+    return 0
+
+
+def _command_serve(args) -> int:
+    """Run the live ingestion service, optionally self-fed.
+
+    With ``--scenario`` the named scenario runs in a feeder thread and
+    streams its telemetry through the service's own public HTTP API —
+    the same path an external deployment would use; the scenario name
+    resolves through the registry, so an unknown name exits 2 listing
+    the known ones before the socket ever binds.
+    """
+    import threading
+
+    from repro.errors import ServiceError
+    from repro.service import (
+        LiveFeed,
+        ReproService,
+        restore_service_state,
+        run_service,
+    )
+
+    scenario = None
+    if args.scenario is not None:
+        scenario = _apply_duration(
+            scenarios.get(args.scenario).with_seed(args.seed),
+            args.duration_days,
+        )
+    state = restore_service_state(args.wal, args.checkpoint)
+    if state.classifier.events_ingested:
+        print(f"restored {state.classifier.events_ingested} events "
+              f"(WAL position "
+              f"{state.wal.position if state.wal else 0})")
+    service = ReproService(
+        state,
+        host=args.host,
+        port=args.port,
+        checkpoint_path=args.checkpoint,
+    )
+    feed_errors: list[BaseException] = []
+
+    def _feed(url: str) -> None:
+        try:
+            feed = LiveFeed.over_http(
+                url + "/events", batch_size=args.feed_batch
+            )
+            run_scenario(
+                scenario, on_built=lambda exp: feed.attach(exp)
+            )
+            feed.close()
+            print(f"feed complete: {feed.events_sent} events in "
+                  f"{feed.batches_sent} batches", flush=True)
+        except BaseException as exc:  # reported after shutdown
+            feed_errors.append(exc)
+        finally:
+            if args.shutdown_after_feed or feed_errors:
+                service.request_shutdown()
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+        if scenario is not None:
+            url = line.split("serving on ", 1)[1]
+            threading.Thread(
+                target=_feed, args=(url,), daemon=True
+            ).start()
+
+    run_service(service, announce=announce)
+    if feed_errors:
+        raise ServiceError(f"scenario feed failed: {feed_errors[0]}")
     return 0
 
 
@@ -697,6 +914,7 @@ def _command_compare(args) -> int:
 
 _COMMANDS = {
     "run": _command_run,
+    "serve": _command_serve,
     "tables": _command_tables,
     "scenarios": _command_scenarios,
     "personas": _command_personas,

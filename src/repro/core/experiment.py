@@ -208,6 +208,8 @@ class Experiment:
         self._provisioned = False
         self._built = False
         self._build_seconds = 0.0
+        self._measuring = False
+        self._events_executed = 0
         # World components; populated by build().
         self._seeds: SeedSequence | None = None
         self.sim: Simulator | None = None
@@ -622,6 +624,67 @@ class Experiment:
             },
             perf=perf,
             rss_kb=timer.rss_kb,
+            all_addresses=tuple(h.address for h in self.honey_accounts),
+            owned_addresses=tuple(
+                h.address
+                for h in (
+                    self.honey_accounts
+                    if self._shard_is_serial
+                    else self.owned_accounts
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # incremental measurement (checkpointable runs)
+    # ------------------------------------------------------------------
+    def start_measurement(self) -> None:
+        """Set up everything and start monitoring, without advancing
+        simulated time.
+
+        The incremental triple — :meth:`start_measurement`, then any
+        number of :meth:`advance_to_day` calls, then
+        :meth:`finish_measurement` — executes exactly the stages
+        :meth:`run` does, but hands control back between advances so a
+        caller can pickle the whole experiment mid-horizon
+        (:mod:`repro.service.checkpoint`).  Idempotent.
+        """
+        if self._measuring:
+            return
+        self.build()
+        self.provision_accounts()
+        self.leak_credentials()
+        self.schedule_case_studies()
+        self.monitor.start()
+        self._measuring = True
+
+    def advance_to_day(self, day: float) -> int:
+        """Advance the measurement to ``day`` (cumulative); returns the
+        events executed so far across all advances."""
+        self.start_measurement()
+        self._events_executed += self.sim.run_until(days(day))
+        return self._events_executed
+
+    def finish_measurement(self) -> ExperimentResult:
+        """Advance to the configured horizon and assemble the dataset.
+
+        The result is identical to :meth:`run`'s for the same config
+        and seed, however many advance/pickle/resume cycles happened in
+        between.
+        """
+        self.advance_to_day(self.config.duration_days)
+        self.monitor.stop()
+        self._measuring = False
+        dataset = self._assemble_dataset()
+        return ExperimentResult(
+            dataset=dataset,
+            honey_accounts=self.honey_accounts,
+            ledger=self.ledger,
+            config=self.config,
+            events_executed=self._events_executed,
+            blacklisted_ips={
+                str(entry.address) for entry in self.blacklist
+            },
             all_addresses=tuple(h.address for h in self.honey_accounts),
             owned_addresses=tuple(
                 h.address

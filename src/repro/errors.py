@@ -71,3 +71,11 @@ class ConfigurationError(ReproError):
 
 class SweepError(ReproError):
     """Raised when a strict sweep has cells that exhausted their retries."""
+
+
+class ServiceError(ReproError):
+    """Raised for live-service failures (ingest, WAL, checkpointing)."""
+
+
+class ValidationError(ServiceError):
+    """Raised when an ingested event does not match the wire schema."""

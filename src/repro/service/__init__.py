@@ -1,0 +1,64 @@
+"""Live ingestion service: online classification of honey-account telemetry.
+
+The batch pipeline (:mod:`repro.analysis`) answers "what happened"
+after a run completes; this package answers it *while it happens*.  A
+:class:`LiveFeed` streams a running simulation's telemetry (or a replay
+of a finished run) as wire-format JSON events into a
+:class:`ServiceState`, which journals every event to a
+:class:`WriteAheadLog`, folds it into the :class:`OnlineClassifier`'s
+rolling per-(account, cookie) state, and keeps the ``/stats`` dashboard
+aggregators current.  :class:`ReproService` exposes all of that over a
+stdlib-only asyncio HTTP API, and :mod:`repro.service.checkpoint`
+makes both the service and a mid-horizon simulation restartable.
+
+The contract that makes online mode trustworthy: after any event
+prefix, :meth:`OnlineClassifier.classified` equals batch
+``classify_accesses`` run on that same prefix — pinned by the parity
+test gate.
+"""
+
+from repro.service.checkpoint import (
+    load_experiment_checkpoint,
+    load_service_checkpoint,
+    restore_service_state,
+    resume_run,
+    run_with_checkpoints,
+    save_experiment_checkpoint,
+    write_service_checkpoint,
+)
+from repro.service.classifier import (
+    OnlineClassifier,
+    classification_fingerprint,
+    ingest_all,
+)
+from repro.service.events import (
+    events_from_dataset,
+    meta_event,
+    validate_event,
+)
+from repro.service.feed import LiveFeed
+from repro.service.server import ReproService, run_service
+from repro.service.state import ServiceState
+from repro.service.wal import WriteAheadLog, replay_wal
+
+__all__ = [
+    "LiveFeed",
+    "OnlineClassifier",
+    "classification_fingerprint",
+    "ReproService",
+    "ServiceState",
+    "WriteAheadLog",
+    "events_from_dataset",
+    "ingest_all",
+    "load_experiment_checkpoint",
+    "load_service_checkpoint",
+    "meta_event",
+    "replay_wal",
+    "restore_service_state",
+    "resume_run",
+    "run_service",
+    "run_with_checkpoints",
+    "save_experiment_checkpoint",
+    "validate_event",
+    "write_service_checkpoint",
+]

@@ -1,0 +1,84 @@
+"""Write-ahead log for the live ingestion service.
+
+Every event the service accepts is journaled as one JSONL line —
+through the same :class:`~repro.telemetry.sinks.JsonlSink` machinery
+the telemetry spill uses — *before* it reaches the classifier.  On
+restart the service loads its last checkpoint and replays the WAL tail
+(the lines past the checkpoint's position); a crash between a journal
+write and a checkpoint therefore loses nothing, and a line cut short
+by the crash is dropped by the sink's append-mode reopen.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.telemetry.sinks import JsonlSink
+
+
+class WriteAheadLog:
+    """An append-only JSONL journal with positioned replay.
+
+    Positions are line counts: ``position`` after ``n`` appends is
+    ``n``, and :meth:`replay` yields records starting at a given
+    position — which is how a checkpoint marks the prefix it already
+    covers.
+    """
+
+    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._sink = JsonlSink(self.path, append=resume)
+
+    @property
+    def position(self) -> int:
+        """Lines in the journal (complete records, including any kept
+        from a previous incarnation when resuming)."""
+        return self._sink.lines_written
+
+    def append(self, record: dict) -> int:
+        """Journal one record; returns the position *after* it."""
+        self._sink.write_record(record)
+        return self._sink.lines_written
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+    def close(self) -> None:
+        self._sink.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def replay(self, start: int = 0) -> Iterator[dict]:
+        """Yield journaled records from position ``start`` onward.
+
+        Reads the file as it exists on disk; safe on a journal left
+        behind by a killed process (a partial last line is skipped, as
+        it was never acknowledged).
+        """
+        yield from replay_wal(self.path, start)
+
+
+def replay_wal(path: str | Path, start: int = 0) -> Iterator[dict]:
+    """Yield the records journaled in ``path`` from position ``start``.
+
+    Module-level so a restarting service can replay before deciding
+    whether to reopen the journal for appending.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for position, line in enumerate(handle):
+            if position < start:
+                continue
+            if not line.endswith("\n"):
+                return  # partial tail: never acknowledged, drop it
+            line = line.strip()
+            if line:
+                yield json.loads(line)

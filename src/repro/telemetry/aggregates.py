@@ -46,6 +46,27 @@ class CountByKey:
         ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
         return ranked if k is None else ranked[:k]
 
+    def to_dict(self) -> dict:
+        """Lossless snapshot (JSON-safe when the keys are).
+
+        Counts are stored as ``[key, count]`` pairs, not an object, so
+        non-string keys survive a JSON round-trip unchanged.
+        """
+        return {
+            "kind": "count_by_key",
+            "items": [[key, count] for key, count in self.counts.items()],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, *, key: Callable[[tuple], object]
+    ) -> "CountByKey":
+        """Rebuild from :meth:`to_dict`; the key callable is not part of
+        the snapshot and must be supplied by the caller."""
+        aggregator = cls(key)
+        aggregator.counts = {key_: count for key_, count in data["items"]}
+        return aggregator
+
 
 class OnlineStats:
     """Welford's online mean/variance over one numeric field."""
@@ -102,6 +123,36 @@ class OnlineStats:
         self.count = total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe snapshot.
+
+        The empty-state infinity sentinels are stored as ``None`` (JSON
+        has no ``inf``); they only appear while ``count`` is zero.
+        """
+        return {
+            "kind": "online_stats",
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "minimum": self.minimum if self.count else None,
+            "maximum": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, *, value: Callable[[tuple], float | None]
+    ) -> "OnlineStats":
+        """Rebuild from :meth:`to_dict`; the value callable is not part
+        of the snapshot and must be supplied by the caller."""
+        stats = cls(value)
+        stats.count = data["count"]
+        stats.mean = data["mean"]
+        stats._m2 = data["m2"]
+        if stats.count:
+            stats.minimum = data["minimum"]
+            stats.maximum = data["maximum"]
+        return stats
 
 
 class StreamingECDF:
@@ -160,3 +211,21 @@ class StreamingECDF:
         values = self.sorted_values()
         n = len(values)
         return [(v, (i + 1) / n) for i, v in enumerate(values)]
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe snapshot: the raw samples in append order
+        (order matters only for losslessness, not for any query)."""
+        return {
+            "kind": "streaming_ecdf",
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, *, value: Callable[[tuple], float | None]
+    ) -> "StreamingECDF":
+        """Rebuild from :meth:`to_dict`; the value callable is not part
+        of the snapshot and must be supplied by the caller."""
+        ecdf = cls(value)
+        ecdf._samples = array("d", data["samples"])
+        return ecdf

@@ -31,18 +31,40 @@ class JsonlSink:
     whole line, so a writer killed mid-run leaves only complete JSONL
     lines behind; :meth:`close` flushes and fsyncs before releasing the
     handle, so a clean close survives power loss too.
+
+    Args:
+        path: destination file.
+        append: reopen an existing file and continue after its last
+            complete line instead of truncating — what a resumed service
+            needs to keep extending its write-ahead log.  A trailing
+            partial line (writer killed mid-``write``) is dropped before
+            appending, so the file always holds complete records only.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("w", encoding="utf-8", buffering=1)
+        self.lines_written = 0
+        if append and self.path.exists():
+            self.lines_written = _truncate_partial_tail(self.path)
+            self._handle = self.path.open(
+                "a", encoding="utf-8", buffering=1
+            )
+        else:
+            self._handle = self.path.open(
+                "w", encoding="utf-8", buffering=1
+            )
         self.rows_written = 0
 
     def write(self, index: int, row: tuple, log: EventLog) -> None:
         record = dict(zip(log.field_names(), row))
+        self.write_record(record)
+
+    def write_record(self, record: dict) -> None:
+        """Append one free-form record as a JSONL line (WAL entries)."""
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self.rows_written += 1
+        self.lines_written += 1
 
     def flush(self) -> None:
         if not self._handle.closed:
@@ -59,6 +81,23 @@ class JsonlSink:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _truncate_partial_tail(path: Path) -> int:
+    """Drop a trailing partial line from ``path``; returns the number of
+    complete lines that remain.
+
+    A line-buffered writer killed mid-process can leave at most one
+    incomplete final line; everything before the last newline is intact.
+    """
+    data = path.read_bytes()
+    if not data:
+        return 0
+    cut = data.rfind(b"\n") + 1
+    if cut != len(data):
+        with path.open("r+b") as handle:
+            handle.truncate(cut)
+    return data.count(b"\n", 0, cut)
 
 
 def write_jsonl(log: EventLog, path: str | Path) -> Path:

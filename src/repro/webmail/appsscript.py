@@ -17,6 +17,7 @@ provider, stops them).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Protocol
 
 from repro.errors import QuotaExceededError, ConfigurationError
@@ -155,10 +156,9 @@ class AppsScriptRuntime:
             raise ConfigurationError("trigger period must be positive")
         installation_id = self._next_id
         self._next_id += 1
-
-        def _fire() -> None:
-            self._execute(installation_id)
-
+        # partial (not a closure) so a checkpointed world pickles: the
+        # event queue holds these callbacks mid-run.
+        _fire = partial(self._execute, installation_id)
         if self.batch_triggers:
             trigger: BatchMember | PeriodicProcess = self._batch_for(
                 period, start_delay

@@ -1,0 +1,90 @@
+"""Regenerate ``service_parity.json`` — the online/batch parity golden.
+
+For each pinned (scenario, seed) cell this runs the measurement,
+classifies it twice — batch ``classify_accesses`` over
+``extract_unique_accesses``, and the online classifier fed the replayed
+event stream — asserts they agree, and records the shared fingerprint.
+The test gate then holds three things at once: online == batch,
+online == pinned, and therefore batch == pinned.
+
+Regenerate only for intentional taxonomy/attribution changes::
+
+    PYTHONPATH=src:tests python tests/golden/generate_service_parity_golden.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.accesses import extract_unique_accesses
+from repro.analysis.taxonomy import classify_accesses
+from repro.api.registry import scenarios
+from repro.service import (
+    OnlineClassifier,
+    classification_fingerprint,
+    events_from_dataset,
+    ingest_all,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "service_parity.json"
+
+SEEDS = (2016, 2017, 2018)
+
+#: (key, registry name, factory kwargs, duration override)
+CELLS = (
+    ("paper_default", "paper_default", {}, 45.0),
+    ("scaled_200", "scaled", {"n_accounts": 200}, 30.0),
+)
+
+
+def build_scenario(name, params, duration_days):
+    return (
+        scenarios.get(name, **params)
+        .to_builder()
+        .with_duration_days(duration_days)
+        .build()
+    )
+
+
+def cell_fingerprint(scenario, seed):
+    run = scenario.run(seed=seed)
+    dataset = run.dataset
+    scan_period = run.config.scan_period
+    batch = classify_accesses(
+        dataset,
+        extract_unique_accesses(dataset),
+        scan_period=scan_period,
+    )
+    online = OnlineClassifier()
+    ingest_all(
+        online, events_from_dataset(dataset, scan_period=scan_period)
+    )
+    batch_fp = classification_fingerprint(batch)
+    online_fp = online.fingerprint()
+    assert batch_fp == online_fp, (
+        f"online/batch parity broken for {scenario.name} seed={seed}"
+    )
+    return online_fp
+
+
+def main():
+    payload = {"scenarios": {}}
+    for key, name, params, duration_days in CELLS:
+        scenario = build_scenario(name, params, duration_days)
+        runs = {}
+        for seed in SEEDS:
+            runs[str(seed)] = cell_fingerprint(scenario, seed)
+            print(f"{key} seed={seed}: {runs[str(seed)][:16]}")
+        payload["scenarios"][key] = {
+            "registry_name": name,
+            "params": params,
+            "duration_days": duration_days,
+            "runs": runs,
+        }
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

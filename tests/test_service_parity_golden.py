@@ -1,0 +1,77 @@
+"""Online/batch parity gate: the live classifier == Section 4 batch.
+
+``tests/golden/service_parity.json`` pins, per (scenario, seed), the
+shared fingerprint of batch ``classify_accesses`` and the online
+classifier fed the replayed event stream.  Each cell asserts the full
+triangle: online == batch (parity), online == pinned (no silent drift
+in either path).
+
+Regenerate only for intentional taxonomy/attribution changes::
+
+    PYTHONPATH=src:tests python tests/golden/generate_service_parity_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.accesses import extract_unique_accesses
+from repro.analysis.taxonomy import classify_accesses
+from repro.api.registry import scenarios
+from repro.service import (
+    OnlineClassifier,
+    classification_fingerprint,
+    events_from_dataset,
+    ingest_all,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "service_parity.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CELLS = [
+    (key, seed)
+    for key, entry in sorted(GOLDEN["scenarios"].items())
+    for seed in sorted(entry["runs"], key=int)
+]
+
+
+def test_golden_covers_both_scenarios_across_three_seeds():
+    assert set(GOLDEN["scenarios"]) == {"paper_default", "scaled_200"}
+    for entry in GOLDEN["scenarios"].values():
+        assert len(entry["runs"]) == 3
+
+
+@pytest.mark.parametrize("key,seed", CELLS)
+def test_online_classifier_matches_batch_and_golden(key, seed):
+    entry = GOLDEN["scenarios"][key]
+    scenario = (
+        scenarios.get(entry["registry_name"], **entry["params"])
+        .to_builder()
+        .with_duration_days(entry["duration_days"])
+        .build()
+    )
+    run = scenario.run(seed=int(seed))
+    dataset = run.dataset
+    scan_period = run.config.scan_period
+
+    batch = classify_accesses(
+        dataset,
+        extract_unique_accesses(dataset),
+        scan_period=scan_period,
+    )
+    online = OnlineClassifier()
+    ingest_all(
+        online, events_from_dataset(dataset, scan_period=scan_period)
+    )
+
+    batch_fp = classification_fingerprint(batch)
+    online_fp = online.fingerprint()
+    assert online_fp == batch_fp, (
+        f"online classification diverged from batch for {key} "
+        f"seed={seed}"
+    )
+    assert online_fp == entry["runs"][seed], (
+        f"classification drifted from the pinned golden for {key} "
+        f"seed={seed}"
+    )

@@ -1,0 +1,229 @@
+"""WAL durability, JSONL sink reopen, and aggregator snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    OnlineClassifier,
+    ServiceState,
+    WriteAheadLog,
+    replay_wal,
+    restore_service_state,
+    write_service_checkpoint,
+)
+from repro.service.checkpoint import load_service_checkpoint
+from repro.telemetry.aggregates import (
+    CountByKey,
+    OnlineStats,
+    StreamingECDF,
+)
+from repro.telemetry.sinks import JsonlSink, _truncate_partial_tail
+from test_service_classifier import access_event, notification_event
+
+
+# ----------------------------------------------------------------------
+# write-ahead log
+# ----------------------------------------------------------------------
+
+
+def test_wal_appends_and_replays_in_order(tmp_path):
+    path = tmp_path / "events.wal"
+    wal = WriteAheadLog(path)
+    records = [access_event(timestamp=float(i)) for i in range(5)]
+    positions = [wal.append(r) for r in records]
+    assert positions == [1, 2, 3, 4, 5]
+    wal.close()
+    assert list(replay_wal(path)) == records
+    assert list(replay_wal(path, start=3)) == records[3:]
+
+
+def test_wal_resume_continues_the_journal(tmp_path):
+    path = tmp_path / "events.wal"
+    with WriteAheadLog(path) as wal:
+        wal.append(access_event(timestamp=1.0))
+    resumed = WriteAheadLog(path, resume=True)
+    assert resumed.position == 1
+    resumed.append(access_event(timestamp=2.0))
+    resumed.close()
+    assert len(list(replay_wal(path))) == 2
+
+
+def test_wal_replay_ignores_a_torn_tail(tmp_path):
+    path = tmp_path / "events.wal"
+    with WriteAheadLog(path) as wal:
+        wal.append(access_event(timestamp=1.0))
+        wal.append(access_event(timestamp=2.0))
+    with path.open("a") as handle:
+        handle.write('{"type": "access", "trunc')
+    assert len(list(replay_wal(path))) == 2
+
+
+def test_wal_resume_truncates_the_torn_tail(tmp_path):
+    path = tmp_path / "events.wal"
+    with WriteAheadLog(path) as wal:
+        wal.append(access_event(timestamp=1.0))
+    with path.open("a") as handle:
+        handle.write('{"partial')
+    resumed = WriteAheadLog(path, resume=True)
+    assert resumed.position == 1
+    resumed.append(access_event(timestamp=2.0))
+    resumed.close()
+    replayed = list(replay_wal(path))
+    assert [r["timestamp"] for r in replayed] == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# JsonlSink reopen-after-kill (regression)
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_sink_reopen_after_kill_drops_only_the_torn_line(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    sink = JsonlSink(path)
+    sink.write_record({"row": 1})
+    sink.write_record({"row": 2})
+    sink.close()
+    # A killed process leaves a partially flushed final line.
+    with path.open("a") as handle:
+        handle.write('{"row": 3, "unfin')
+    reopened = JsonlSink(path, append=True)
+    assert reopened.lines_written == 2
+    reopened.write_record({"row": 3})
+    reopened.close()
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows == [{"row": 1}, {"row": 2}, {"row": 3}]
+
+
+def test_truncate_partial_tail_counts_complete_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_bytes(b'{"a": 1}\n{"b": 2}\n{"c":')
+    assert _truncate_partial_tail(path) == 2
+    assert path.read_bytes() == b'{"a": 1}\n{"b": 2}\n'
+    assert _truncate_partial_tail(path) == 2
+
+
+# ----------------------------------------------------------------------
+# service state restore
+# ----------------------------------------------------------------------
+
+
+def _sample_events():
+    return [
+        access_event(timestamp=1000.0),
+        access_event(cookie="c2", timestamp=9000.0),
+        notification_event("read", timestamp=1100.0),
+    ]
+
+
+def test_restore_without_checkpoint_replays_the_whole_wal(tmp_path):
+    wal_path = tmp_path / "events.wal"
+    state = ServiceState(OnlineClassifier(), wal=WriteAheadLog(wal_path))
+    for record in _sample_events():
+        state.apply(record)
+    fingerprint = state.classifier.fingerprint()
+    state.close()
+
+    restored = restore_service_state(wal_path, None)
+    assert restored.classifier.fingerprint() == fingerprint
+    assert restored.wal.position == 3
+    restored.close()
+
+
+def test_restore_replays_only_the_tail_past_the_checkpoint(tmp_path):
+    wal_path = tmp_path / "events.wal"
+    ckpt_path = tmp_path / "service.ckpt"
+    events = _sample_events()
+    state = ServiceState(OnlineClassifier(), wal=WriteAheadLog(wal_path))
+    state.apply(events[0])
+    write_service_checkpoint(ckpt_path, state)
+    for record in events[1:]:
+        state.apply(record)
+    fingerprint = state.classifier.fingerprint()
+    dashboard = state.dashboard_snapshot()
+    state.close()
+
+    restored = restore_service_state(wal_path, ckpt_path)
+    assert restored.classifier.fingerprint() == fingerprint
+    assert restored.dashboard_snapshot() == dashboard
+    assert load_service_checkpoint(ckpt_path)["wal_position"] == 1
+    restored.close()
+
+
+def test_restore_refuses_a_wal_shorter_than_the_checkpoint(tmp_path):
+    wal_path = tmp_path / "events.wal"
+    ckpt_path = tmp_path / "service.ckpt"
+    state = ServiceState(OnlineClassifier(), wal=WriteAheadLog(wal_path))
+    for record in _sample_events():
+        state.apply(record)
+    write_service_checkpoint(ckpt_path, state)
+    state.close()
+    wal_path.write_text(wal_path.read_text().splitlines()[0] + "\n")
+    with pytest.raises(ServiceError, match="shorter"):
+        restore_service_state(wal_path, ckpt_path)
+
+
+def test_corrupt_checkpoints_are_rejected(tmp_path):
+    path = tmp_path / "service.ckpt"
+    path.write_text("not json")
+    with pytest.raises(ServiceError, match="corrupt"):
+        load_service_checkpoint(path)
+    path.write_text(json.dumps({"kind": "something_else"}))
+    with pytest.raises(ServiceError, match="not a service checkpoint"):
+        load_service_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# aggregator snapshots (lossless to_dict/from_dict)
+# ----------------------------------------------------------------------
+
+
+def test_count_by_key_snapshot_round_trips():
+    counter = CountByKey(lambda row: row[0])
+    for key in ("a", "b", "a", None, "c", "a"):
+        counter.write(0, (key,), None)
+    payload = json.loads(json.dumps(counter.to_dict()))
+    restored = CountByKey.from_dict(payload, key=lambda row: row[0])
+    assert restored.counts == counter.counts
+    assert restored.most_common() == counter.most_common()
+    restored.write(0, ("a",), None)
+    assert restored.counts["a"] == counter.counts["a"] + 1
+
+
+def test_online_stats_snapshot_round_trips():
+    stats = OnlineStats(lambda row: row[0])
+    for value in (3.0, 1.0, 4.0, 1.5, 9.2):
+        stats.write(0, (value,), None)
+    payload = json.loads(json.dumps(stats.to_dict()))
+    restored = OnlineStats.from_dict(payload, value=lambda row: row[0])
+    assert restored.count == stats.count
+    assert restored.mean == pytest.approx(stats.mean)
+    assert restored.variance == pytest.approx(stats.variance)
+    assert (restored.minimum, restored.maximum) == (
+        stats.minimum, stats.maximum,
+    )
+
+
+def test_online_stats_empty_snapshot_round_trips():
+    stats = OnlineStats(lambda row: row[0])
+    restored = OnlineStats.from_dict(
+        json.loads(json.dumps(stats.to_dict())),
+        value=lambda row: row[0],
+    )
+    assert restored.count == 0
+    restored.write(0, (2.5,), None)
+    assert (restored.minimum, restored.maximum) == (2.5, 2.5)
+
+
+def test_streaming_ecdf_snapshot_round_trips():
+    ecdf = StreamingECDF(lambda row: row[0])
+    for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+        ecdf.write(0, (value,), None)
+    payload = json.loads(json.dumps(ecdf.to_dict()))
+    restored = StreamingECDF.from_dict(
+        payload, value=lambda row: row[0]
+    )
+    assert len(restored) == len(ecdf)
+    assert restored.sorted_values() == ecdf.sorted_values()
+    assert restored.quantile(0.5) == ecdf.quantile(0.5)
