@@ -35,6 +35,7 @@ from repro.analysis.report import (
 from repro.api.scenario import Scenario
 from repro.core.experiment import Experiment, ExperimentConfig, ExperimentResult
 from repro.core.records import ObservedDataset
+from repro.faults.plan import fault_site
 from repro.perf import peak_rss_kb
 
 __all__ = [
@@ -335,6 +336,8 @@ def run_scenario(
     profile_path: str | None = None,
     jobs: int | None = None,
     telemetry_budget=None,
+    shard_timeout: float | None = None,
+    shard_retries: int = 1,
 ) -> RunResult:
     """Execute one scenario run and wrap it in a :class:`RunResult`.
 
@@ -357,9 +360,13 @@ def run_scenario(
     bit-identical to the serial path.  ``on_built`` and
     ``profile_path`` apply to in-process worlds only and are rejected
     for sharded runs (``telemetry_budget`` applies to both paths).
+    ``shard_timeout``/``shard_retries`` configure the sharded
+    executor's supervision (see :func:`repro.shard.run_sharded`) and
+    are ignored on the serial path.
     """
     if seed is not None:
         scenario = scenario.with_seed(seed)
+    fault_site("run.scenario", seed=scenario.seed, shards=scenario.shards)
     if scenario.shards > 1:
         if on_built is not None or profile_path is not None:
             from repro.errors import ConfigurationError
@@ -371,7 +378,13 @@ def run_scenario(
             )
         from repro.shard import run_sharded
 
-        return run_sharded(scenario, jobs=jobs, telemetry_budget=telemetry_budget)
+        return run_sharded(
+            scenario,
+            jobs=jobs,
+            telemetry_budget=telemetry_budget,
+            shard_timeout=shard_timeout,
+            shard_retries=shard_retries,
+        )
     started = time.perf_counter()
     experiment = Experiment.from_scenario(
         scenario, telemetry_budget=telemetry_budget

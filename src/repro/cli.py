@@ -142,6 +142,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process)",
     )
     run_parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        dest="shard_timeout",
+        help="wall-clock limit per shard worker attempt; a shard past "
+        "it is killed and re-executed (deterministic, so the rerun is "
+        "bit-identical; default: no limit)",
+    )
+    run_parser.add_argument(
+        "--shard-retries", type=int, default=1, metavar="N",
+        dest="shard_retries",
+        help="re-executions allowed per crashed/hung/timed-out shard "
+        "before the run fails (default: 1)",
+    )
+    run_parser.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        dest="fault_plan",
+        help="activate the fault-injection plan in FILE (FaultPlan "
+        "JSON) for this run and its workers — chaos testing the "
+        "supervision paths",
+    )
+    run_parser.add_argument(
         "--scenario-file", default=None, metavar="FILE",
         dest="scenario_file",
         help="run the scenario serialized in FILE (Scenario JSON) "
@@ -231,6 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="gracefully shut down once the --scenario feed "
         "completes (the CI smoke mode)",
     )
+    serve_parser.add_argument(
+        "--degraded-ok", action="store_true", dest="degraded_ok",
+        help="keep /healthz answering 200 while the WAL is unwritable "
+        "(ingest still answers 503 + degraded flag; default: "
+        "/healthz answers 503 when degraded)",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list registry scenarios, or describe one"
@@ -310,6 +336,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "deferring the rest (store mode only; resume later with "
         "--resume)",
     )
+    sweep_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        dest="cell_timeout",
+        help="wall-clock limit per cell attempt on the pool/subprocess "
+        "backends; a cell past it is killed, reported failed, and "
+        "requeued under --retries (default: no limit)",
+    )
 
     store_parser = subparsers.add_parser(
         "store",
@@ -330,6 +363,12 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="keep_version",
         help="gc: code-version token to keep (default: the current "
         "code version)",
+    )
+    store_parser.add_argument(
+        "--quarantine", action="store_true",
+        help="verify: move corrupt/uncommitted entries to "
+        "<store>/quarantine/ instead of only reporting them, so "
+        "'sweep --resume' recomputes those cells",
     )
     compare_parser.add_argument(
         "--scenarios", default="fast,no_case_studies", metavar="A,B,...",
@@ -459,6 +498,10 @@ def _resolve_scenario(args) -> Scenario:
 
 
 def _command_run(args) -> int:
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultPlan
+
+        FaultPlan.from_json(Path(args.fault_plan).read_text()).activate()
     if args.resume_from is not None:
         return _run_resumed(args)
     if args.checkpoint_every is not None:
@@ -500,6 +543,8 @@ def _command_run(args) -> int:
         profile_path=args.profile,
         jobs=args.jobs,
         telemetry_budget=budget,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
     )
     for monitor in monitors:
         monitor.close_spill()
@@ -520,6 +565,7 @@ def _run_checkpointed(args) -> int:
             ("--telemetry-budget", args.telemetry_budget),
             ("--spill-dir", args.spill_dir),
             ("--profile", args.profile),
+            ("--shard-timeout", args.shard_timeout),
         )
         if value is not None
     ]
@@ -558,6 +604,7 @@ def _run_resumed(args) -> int:
             ("--telemetry-budget", args.telemetry_budget),
             ("--spill-dir", args.spill_dir),
             ("--profile", args.profile),
+            ("--shard-timeout", args.shard_timeout),
         )
         if value is not None
     ]
@@ -675,6 +722,7 @@ def _command_serve(args) -> int:
         host=args.host,
         port=args.port,
         checkpoint_path=args.checkpoint,
+        degraded_ok=args.degraded_ok,
     )
     feed_errors: list[BaseException] = []
 
@@ -797,7 +845,9 @@ def _sweep_with_store(args, scenario_list, seeds) -> int:
     backend_name = args.backend or (
         "pool" if args.jobs > 1 else "inprocess"
     )
-    backend = backend_from_name(backend_name, jobs=args.jobs)
+    backend = backend_from_name(
+        backend_name, jobs=args.jobs, cell_timeout=args.cell_timeout
+    )
     store = ResultsStore(args.store)
 
     def progress(record: dict) -> None:
@@ -860,10 +910,12 @@ def _command_store(args) -> int:
         print(f"{len(entries)} cells")
         return 0
     if args.action == "verify":
-        problems = store.verify()
+        problems = store.verify(quarantine=args.quarantine)
         for problem in problems:
             print(f"PROBLEM: {problem}", file=sys.stderr)
         print(f"{len(store)} entries, {len(problems)} problems")
+        if args.quarantine and problems:
+            print(f"quarantined under {store.quarantine_dir}")
         return 1 if problems else 0
     removed = store.gc(keep_code_version=args.keep_version)
     print(f"gc removed {len(removed)} objects, kept {len(store)}")

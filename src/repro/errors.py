@@ -79,3 +79,22 @@ class ServiceError(ReproError):
 
 class ValidationError(ServiceError):
     """Raised when an ingested event does not match the wire schema."""
+
+
+class DegradedError(ServiceError):
+    """Raised when the service cannot durably journal an event.
+
+    The HTTP layer maps this to 503 so callers can back off and retry;
+    the event that triggered it was **not** applied to state.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """Raised when a fault plan is malformed or a fault site cannot
+    perform the injection it was asked for (never on the fault-free
+    path)."""
+
+
+class SupervisionError(ReproError):
+    """Raised when a supervised worker exhausts its retry budget —
+    crashed, hung, or timed out more times than the caller allowed."""

@@ -28,6 +28,7 @@ from pathlib import Path
 from repro.api.scenario import Scenario
 from repro.core.experiment import Experiment
 from repro.errors import ServiceError
+from repro.faults.plan import fault_site
 from repro.service.classifier import OnlineClassifier
 from repro.service.state import ServiceState
 from repro.service.wal import replay_wal
@@ -37,6 +38,7 @@ SERVICE_CHECKPOINT_VERSION = 1
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    fault_site("checkpoint.write", path=str(path), data=payload)
     path.parent.mkdir(parents=True, exist_ok=True)
     temp = path.with_name(path.name + ".tmp")
     with temp.open("wb") as handle:

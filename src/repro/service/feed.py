@@ -27,6 +27,8 @@ from urllib.parse import urlsplit
 from repro.core.experiment import Experiment
 from repro.core.monitor import MonitorInfrastructure
 from repro.errors import ServiceError
+from repro.faults.plan import fault_site
+from repro.faults.retry import RetryPolicy
 from repro.service.events import (
     access_event_from_row,
     lockout_event_from_row,
@@ -92,10 +94,24 @@ class LiveFeed:
 
     @classmethod
     def over_http(
-        cls, url: str, *, batch_size: int = 256, timeout: float = 30.0
+        cls,
+        url: str,
+        *,
+        batch_size: int = 256,
+        timeout: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> "LiveFeed":
         """A feed that POSTs event arrays to ``url`` (``/events`` is
-        appended when the URL has no path)."""
+        appended when the URL has no path).
+
+        Each batch retries under ``retry_policy`` (default: the shared
+        IO policy) on connection failures, timeouts, and 503s from a
+        degraded service.  The service accepts whole batches or rejects
+        the remainder starting at a position, and events carry no
+        server-side dedup key — so a batch is resent from the first
+        *unaccepted* event, keeping delivery exactly-once as long as
+        the failure happened before the 200 landed.
+        """
         import http.client
 
         parts = urlsplit(url)
@@ -106,8 +122,17 @@ class LiveFeed:
         host = parts.hostname or "127.0.0.1"
         port = parts.port or 80
         path = parts.path or "/events"
+        policy = retry_policy or RetryPolicy()
 
-        def deliver(batch: list[dict]) -> None:
+        class _RetryableServiceError(ServiceError):
+            """A response worth resending: 503 from a degraded peer."""
+
+            def __init__(self, message: str, accepted: int) -> None:
+                super().__init__(message)
+                self.accepted = accepted
+
+        def post_once(batch: list[dict]) -> None:
+            fault_site("feed.post", events=len(batch))
             connection = http.client.HTTPConnection(
                 host, port, timeout=timeout
             )
@@ -120,6 +145,16 @@ class LiveFeed:
                 )
                 response = connection.getresponse()
                 payload = response.read()
+                if response.status == 503:
+                    try:
+                        accepted = json.loads(payload).get("accepted", 0)
+                    except json.JSONDecodeError:
+                        accepted = 0
+                    raise _RetryableServiceError(
+                        f"feed POST {path}: service degraded (503, "
+                        f"{accepted} of {len(batch)} accepted)",
+                        accepted,
+                    )
                 if response.status != 200:
                     raise ServiceError(
                         f"feed POST {path} failed: {response.status} "
@@ -127,6 +162,31 @@ class LiveFeed:
                     )
             finally:
                 connection.close()
+
+        def deliver(batch: list[dict]) -> None:
+            remaining = batch
+
+            def attempt() -> None:
+                nonlocal remaining
+                try:
+                    post_once(remaining)
+                except _RetryableServiceError as exc:
+                    # 503 names how much of the batch landed; resend
+                    # only the unaccepted tail.
+                    remaining = remaining[exc.accepted :]
+                    raise
+
+            policy.call(
+                attempt,
+                retry_on=(
+                    ConnectionError,
+                    TimeoutError,
+                    OSError,
+                    http.client.HTTPException,
+                    _RetryableServiceError,
+                ),
+                key=f"{host}:{port}{path}",
+            )
 
         return cls(deliver, batch_size=batch_size)
 

@@ -32,7 +32,8 @@ import json
 import signal
 from pathlib import Path
 
-from repro.errors import ValidationError
+from repro.errors import DegradedError, ValidationError
+from repro.faults.retry import DEFAULT_IO_RETRY
 from repro.service.state import ServiceState
 
 #: Largest accepted request body; protects the single-threaded loop
@@ -46,6 +47,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -58,6 +60,10 @@ class ReproService:
         port: bind port; ``0`` picks a free one (see :attr:`port`).
         checkpoint_path: where the shutdown checkpoint is written;
             ``None`` disables checkpointing on shutdown.
+        degraded_ok: keep ``/healthz`` answering 200 while the WAL is
+            unwritable (ingest still answers 503).  For deployments
+            where a restart would not fix the disk and an orchestrator
+            kill-loop only makes things worse.
     """
 
     def __init__(
@@ -67,10 +73,12 @@ class ReproService:
         host: str = "127.0.0.1",
         port: int = 0,
         checkpoint_path: str | Path | None = None,
+        degraded_ok: bool = False,
     ) -> None:
         self.state = state
         self.host = host
         self.port = port
+        self.degraded_ok = degraded_ok
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -128,7 +136,16 @@ class ReproService:
         if self.checkpoint_path is not None:
             from repro.service.checkpoint import write_service_checkpoint
 
-            write_service_checkpoint(self.checkpoint_path, self.state)
+            # The shutdown checkpoint is the last thing standing
+            # between a clean stop and a full-WAL replay on restart;
+            # ride out transient IO errors before giving up.
+            DEFAULT_IO_RETRY.call(
+                lambda: write_service_checkpoint(
+                    self.checkpoint_path, self.state
+                ),
+                retry_on=(OSError,),
+                key=str(self.checkpoint_path),
+            )
         self.state.close()
 
     # ------------------------------------------------------------------
@@ -247,6 +264,12 @@ class ReproService:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "GET /healthz"}
+            if self.state.degraded:
+                status = 200 if self.degraded_ok else 503
+                return status, {
+                    "status": "degraded",
+                    "degraded": True,
+                }
             return 200, {"status": "ok"}
         if path == "/shutdown":
             if method != "POST":
@@ -267,6 +290,15 @@ class ReproService:
         for record in records:
             try:
                 self.state.apply(record)
+            except DegradedError as exc:
+                # The offending event was not applied; everything
+                # before it in the batch was.  503 tells the feed to
+                # back off and resend from here.
+                return 503, {
+                    "error": str(exc),
+                    "accepted": accepted,
+                    "degraded": True,
+                }
             except ValidationError as exc:
                 return 400, {"error": str(exc), "accepted": accepted}
             accepted += 1

@@ -16,6 +16,7 @@ what :mod:`repro.service.checkpoint` persists.
 
 from __future__ import annotations
 
+from repro.errors import DegradedError
 from repro.service.classifier import OnlineClassifier
 from repro.service.events import validate_event
 from repro.service.wal import WriteAheadLog
@@ -69,6 +70,11 @@ class ServiceState:
     ) -> None:
         self.classifier = classifier or OnlineClassifier()
         self.wal = wal
+        #: True after a WAL append failed even through its retry
+        #: policy; cleared by the next successful append.  Surfaced in
+        #: ``/stats`` and ``/healthz`` and mapped to 503 on ingest.
+        self.degraded = False
+        self.wal_failures = 0
         self.events_by_type = CountByKey(_event_type)
         self.notifications_by_kind = CountByKey(_notification_kind)
         self.accesses_by_country = CountByKey(_access_country)
@@ -79,10 +85,28 @@ class ServiceState:
     # ingest
     # ------------------------------------------------------------------
     def apply(self, record: dict) -> None:
-        """Validate, journal, and ingest one event (the live path)."""
+        """Validate, journal, and ingest one event (the live path).
+
+        Durability before state: if the WAL cannot journal the event
+        even through its retry policy, the event is **not** applied and
+        :class:`~repro.errors.DegradedError` surfaces — the service
+        answers 503 and flags itself degraded rather than acknowledging
+        an event a restart would lose.  The next successful append
+        clears the flag (degradation is a property of the disk, not a
+        latch).
+        """
         validate_event(record)
         if self.wal is not None:
-            self.wal.append(record)
+            try:
+                self.wal.append(record)
+            except OSError as exc:
+                self.degraded = True
+                self.wal_failures += 1
+                raise DegradedError(
+                    f"WAL unwritable at position {self.wal.position}: "
+                    f"{exc}"
+                ) from exc
+            self.degraded = False
         self.ingest(record)
 
     def ingest(self, record: dict) -> None:
@@ -147,6 +171,8 @@ class ServiceState:
             "wal_position": (
                 self.wal.position if self.wal is not None else None
             ),
+            "degraded": self.degraded,
+            "wal_failures": self.wal_failures,
         }
         if self.access_timestamps.count:
             stats["access_time"] = {

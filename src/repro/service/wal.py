@@ -7,6 +7,13 @@ restart the service loads its last checkpoint and replays the WAL tail
 (the lines past the checkpoint's position); a crash between a journal
 write and a checkpoint therefore loses nothing, and a line cut short
 by the crash is dropped by the sink's append-mode reopen.
+
+Failure discipline: appends ride a :class:`repro.faults.retry
+.RetryPolicy` (a transient ``EIO`` costs a backoff, not an event), the
+sink rolls the file back to its last committed line before any append
+error surfaces (no mid-file torn records), and replay reads bytes —
+a torn tail is detected by its missing ``b"\\n"`` before any UTF-8 or
+JSON decoding can trip over the truncation point.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import json
 from pathlib import Path
 from typing import Iterator
 
+from repro.faults.plan import fault_site
+from repro.faults.retry import DEFAULT_IO_RETRY, RetryPolicy
 from repro.telemetry.sinks import JsonlSink
 
 
@@ -25,10 +34,21 @@ class WriteAheadLog:
     ``n``, and :meth:`replay` yields records starting at a given
     position — which is how a checkpoint marks the prefix it already
     covers.
+
+    ``retry_policy`` bounds how hard :meth:`append` fights transient
+    IO errors before letting the failure surface (the service maps a
+    surfaced failure to degraded mode, not a crash).
     """
 
-    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        resume: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.path = Path(path)
+        self.retry_policy = retry_policy or DEFAULT_IO_RETRY
         self._sink = JsonlSink(self.path, append=resume)
 
     @property
@@ -38,9 +58,23 @@ class WriteAheadLog:
         return self._sink.lines_written
 
     def append(self, record: dict) -> int:
-        """Journal one record; returns the position *after* it."""
-        self._sink.write_record(record)
+        """Journal one record; returns the position *after* it.
+
+        Retries transient ``OSError``s under the log's policy; the
+        sink's rollback guarantees each retry starts from a clean
+        committed tail, so a retried append never duplicates or tears
+        a record.
+        """
+        self.retry_policy.call(
+            lambda: self._append_once(record),
+            retry_on=(OSError,),
+            key=str(self.path),
+        )
         return self._sink.lines_written
+
+    def _append_once(self, record: dict) -> None:
+        fault_site("wal.append", path=str(self.path), record=record)
+        self._sink.write_record(record)
 
     def flush(self) -> None:
         self._sink.flush()
@@ -69,16 +103,21 @@ def replay_wal(path: str | Path, start: int = 0) -> Iterator[dict]:
 
     Module-level so a restarting service can replay before deciding
     whether to reopen the journal for appending.
+
+    The file is read in binary: a torn tail (writer killed mid-write)
+    is recognised by its missing newline and dropped *before* decoding,
+    so a tear landing mid-multibyte-UTF-8 or mid-JSON-escape cannot
+    raise where a cleanly cut tail would have been skipped.
     """
     path = Path(path)
     if not path.exists():
         return
-    with path.open("r", encoding="utf-8") as handle:
+    with path.open("rb") as handle:
         for position, line in enumerate(handle):
             if position < start:
                 continue
-            if not line.endswith("\n"):
+            if not line.endswith(b"\n"):
                 return  # partial tail: never acknowledged, drop it
             line = line.strip()
             if line:
-                yield json.loads(line)
+                yield json.loads(line.decode("utf-8"))

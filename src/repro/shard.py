@@ -46,7 +46,9 @@ from repro.api.scenario import Scenario
 from repro.core.experiment import Experiment
 from repro.core.records import AccountProvenance, ObservedDataset
 from repro.core.sharding import ShardSpec, shard_of, stable_hash64
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SupervisionError
+from repro.faults.plan import fault_site
+from repro.faults.supervise import supervise_iter
 
 __all__ = [
     "ShardRun",
@@ -98,6 +100,7 @@ def _execute_shard(task: tuple) -> ShardRun:
     spill directory already pinned by the coordinator.
     """
     scenario_json, index, count, *rest = task
+    fault_site("shard.worker", shard=index, shards=count)
     budget = None
     if rest and rest[0] is not None:
         from repro.telemetry import TelemetryBudget
@@ -414,6 +417,11 @@ def run_sharded(
     jobs: int | None = None,
     seed: int | None = None,
     telemetry_budget=None,
+    supervise: bool = True,
+    shard_timeout: float | None = None,
+    shard_retries: int = 1,
+    heartbeat_interval: float = 0.2,
+    stale_after: float | None = None,
 ) -> RunResult:
     """Run ``scenario`` across ``shards`` workers and merge the result.
 
@@ -431,6 +439,20 @@ def run_sharded(
             ``merged/`` for the coordinator; workers ship chunk
             manifests back instead of pickled row data, and the merge
             streams shard chunks into merged chunks.
+        supervise: run pooled workers under
+            :func:`repro.faults.supervise.supervise_iter` — a crashed,
+            hung, or timed-out shard is killed and re-executed instead
+            of aborting the whole run (shard execution is
+            deterministic in (scenario, seed), so reruns are
+            bit-identical).  ``False`` keeps the bare process pool
+            (the benchmark baseline).
+        shard_timeout: wall-clock limit per shard attempt, seconds.
+        shard_retries: re-executions allowed per shard before the run
+            fails with :class:`~repro.errors.SupervisionError`.
+        heartbeat_interval: how often supervised workers touch their
+            heartbeat file.
+        stale_after: kill a worker whose heartbeat is older than this
+            (``None`` disables the hang watchdog).
 
     The returned :class:`RunResult` carries the merged dataset, the
     union of blacklist snapshots, summed event counts, critical-path
@@ -478,6 +500,35 @@ def run_sharded(
         jobs = min(shards, os.cpu_count() or 1)
     if jobs <= 1:
         shard_runs = [_execute_shard(task) for task in tasks]
+    elif supervise:
+        outcomes = list(
+            supervise_iter(
+                _execute_shard,
+                tasks,
+                jobs=min(jobs, shards),
+                timeout=shard_timeout,
+                retries=shard_retries,
+                heartbeat_interval=heartbeat_interval,
+                stale_after=stale_after,
+            )
+        )
+        failed = sorted(
+            (o for o in outcomes if not o.ok), key=lambda o: o.index
+        )
+        if failed:
+            worst = failed[0]
+            raise SupervisionError(
+                f"shard {worst.index} failed after {worst.attempts} "
+                f"attempt(s): {worst.error}"
+                + (
+                    f" (+{len(failed) - 1} more shards)"
+                    if len(failed) > 1
+                    else ""
+                )
+            )
+        shard_runs = [
+            o.result for o in sorted(outcomes, key=lambda o: o.index)
+        ]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, shards)) as pool:
             shard_runs = list(pool.map(_execute_shard, tasks))

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from repro.api.runner import BatchResult, FailedRun
 from repro.api.scenario import Scenario
 from repro.errors import ConfigurationError, SweepError
+from repro.faults.retry import RetryBudget, RetryPolicy
 from repro.sweeps.backends import (
     CellTask,
     DispatchBackend,
@@ -166,6 +167,14 @@ class SweepManager:
             address (default: :func:`default_code_version`).
         retries: extra attempts per failed cell before it is declared
             failed (0 = no requeue).
+        retry_policy: backoff schedule between requeue rounds (a
+            :class:`repro.faults.retry.RetryPolicy`); its ``attempts``
+            field is ignored — per-cell attempt accounting stays with
+            ``retries``.  The same policy guards ``store.put`` against
+            transient IO errors.  Default: the shared IO policy.
+        retry_budget: optional :class:`repro.faults.retry.RetryBudget`
+            capping *total* requeues across the whole sweep; once spent,
+            further failing cells fail immediately.
         journal_path: where to journal (default:
             ``<store root>/journal.jsonl``).
         progress: optional callback receiving every journal record as
@@ -180,6 +189,8 @@ class SweepManager:
         *,
         code_version: str | None = None,
         retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
         journal_path: str | Path | None = None,
         progress: Callable[[dict], None] | None = None,
     ) -> None:
@@ -202,6 +213,8 @@ class SweepManager:
         self.store = store
         self.code_version = code_version or default_code_version()
         self.retries = retries
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.retry_budget = retry_budget
         self.journal_path = (
             Path(journal_path) if journal_path else store.journal_path
         )
@@ -315,7 +328,7 @@ class SweepManager:
                         seed=cell.seed,
                     )
                 )
-            requeue: list[SweepCell] = []
+            requeue: list[tuple[SweepCell, float]] = []
             for outcome in backend.run_cells(tasks):
                 cell = cells[outcome.index]
                 cell.attempts += 1
@@ -324,7 +337,7 @@ class SweepManager:
                     cell.error = None
                     cell.traceback = None
                     cell.status = CellStatus.DONE
-                    self.store.put(cell.spec, outcome.run)
+                    self._store_with_retry(cell, outcome.run)
                     self._journal_cell(
                         cell,
                         "done",
@@ -336,14 +349,21 @@ class SweepManager:
                 else:
                     cell.error = outcome.error
                     cell.traceback = outcome.traceback
-                    if cell.attempts <= self.retries:
+                    if (
+                        cell.attempts <= self.retries
+                        and self._take_retry()
+                    ):
                         cell.status = CellStatus.PENDING
-                        requeue.append(cell)
+                        delay = self.retry_policy.delay(
+                            cell.attempts, key=cell.address
+                        )
+                        requeue.append((cell, delay))
                         self._journal_cell(
                             cell,
                             "requeued",
                             error=outcome.error,
                             attempts=cell.attempts,
+                            delay_seconds=round(delay, 6),
                         )
                     else:
                         cell.status = CellStatus.FAILED
@@ -353,7 +373,13 @@ class SweepManager:
                             error=outcome.error,
                             attempts=cell.attempts,
                         )
-            queue = requeue
+            if requeue:
+                # One backoff per round: the slowest cell's schedule
+                # (per-cell sleeps would serialize the round).
+                pause = max(delay for _, delay in requeue)
+                if pause > 0:
+                    time.sleep(pause)
+            queue = [cell for cell, _ in requeue]
 
         result = SweepResult(
             cells=cells,
@@ -377,6 +403,43 @@ class SweepManager:
                 f"{first.scenario.name} seed={first.seed}: {first.error}"
             )
         return result
+
+    # ------------------------------------------------------------------
+    # retry plumbing
+    # ------------------------------------------------------------------
+    def _take_retry(self) -> bool:
+        """Consume one requeue from the sweep-wide budget (if any)."""
+        if self.retry_budget is None:
+            return True
+        if self.retry_budget.take():
+            return True
+        self._journal(
+            {
+                "event": "retry_budget_exhausted",
+                "limit": self.retry_budget.limit,
+            }
+        )
+        return False
+
+    def _store_with_retry(self, cell: SweepCell, run) -> None:
+        """Memoize a finished run, riding out transient store IO errors.
+
+        A run that took minutes to compute must not be lost to one
+        flaky write; each retry is journaled so the recovery is
+        visible in the campaign record.
+        """
+        self.retry_policy.call(
+            lambda: self.store.put(cell.spec, run),
+            retry_on=(OSError,),
+            key=cell.address,
+            on_retry=lambda attempt, pause, exc: self._journal_cell(
+                cell,
+                "store_retry",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=attempt,
+                delay_seconds=round(pause, 6),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # journaling

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import fault_site
 from repro.sweeps.jobspec import JobSpec, compute_address, default_code_version
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -192,6 +193,7 @@ class ResultsStore:
         since addresses pin (scenario, seed, code version) and runs are
         deterministic, both writers store the same result.
         """
+        fault_site("store.put", address=spec.address)
         payload, sidecar = self.encode(spec, run)
         directory = self._payload_path(spec.address).parent
         directory.mkdir(parents=True, exist_ok=True)
@@ -223,15 +225,28 @@ class ResultsStore:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def verify(self) -> list[str]:
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def verify(self, *, quarantine: bool = False) -> list[str]:
         """Integrity-check every entry; returns human-readable problems.
 
         Three invariants per entry: the sidecar parses and matches its
         filename, the payload's sha256 matches the sidecar's record,
         and the address re-derives from the sidecar's own spec fields.
         Payloads without sidecars are reported as interrupted puts.
+
+        With ``quarantine=True``, every offending entry (payload and
+        sidecar both, whichever exist) is *moved* to
+        ``<root>/quarantine/<aa>/`` instead of left in place.  The
+        address then reads as absent, so the next ``sweep --resume``
+        recomputes those cells — turning a corrupted store back into a
+        merely incomplete one, with the evidence preserved for
+        inspection.
         """
         problems: list[str] = []
+        bad_addresses: set[str] = set()
         seen_payloads: set[Path] = set()
         for sidecar_path in self._sidecar_paths():
             address = sidecar_path.stem
@@ -239,12 +254,14 @@ class ResultsStore:
                 data = json.loads(sidecar_path.read_text())
             except (json.JSONDecodeError, OSError) as exc:
                 problems.append(f"{address}: unreadable sidecar ({exc})")
+                bad_addresses.add(address)
                 continue
             if data.get("address") != address:
                 problems.append(
                     f"{address}: sidecar claims address "
                     f"{data.get('address')!r}"
                 )
+                bad_addresses.add(address)
             spec = data.get("spec", {})
             derived = compute_address(
                 spec.get("canonical", ""),
@@ -256,21 +273,40 @@ class ResultsStore:
                     f"{address}: spec does not hash to the address "
                     "(sidecar tampered or canonicalization changed)"
                 )
+                bad_addresses.add(address)
             payload_path = self._payload_path(address)
             seen_payloads.add(payload_path)
             if not payload_path.exists():
                 problems.append(f"{address}: payload missing")
+                bad_addresses.add(address)
                 continue
             digest = hashlib.sha256(payload_path.read_bytes()).hexdigest()
             if digest != data.get("payload", {}).get("sha256"):
                 problems.append(f"{address}: payload sha256 mismatch")
+                bad_addresses.add(address)
         for payload_path in sorted(self.objects_dir.glob("??/*.pkl")):
             if payload_path not in seen_payloads:
                 problems.append(
                     f"{payload_path.stem}: payload without sidecar "
                     "(interrupted put)"
                 )
+                bad_addresses.add(payload_path.stem)
+        if quarantine and bad_addresses:
+            for address in sorted(bad_addresses):
+                self._quarantine_entry(address)
         return problems
+
+    def _quarantine_entry(self, address: str) -> None:
+        """Move one entry's surviving files under ``quarantine/``."""
+        for path in (
+            self._payload_path(address),
+            self._sidecar_path(address),
+        ):
+            if not path.exists():
+                continue
+            target = self.quarantine_dir / address[:2] / path.name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
 
     def gc(self, *, keep_code_version: str | None = None) -> list[str]:
         """Delete stale objects; returns the removed addresses.

@@ -55,16 +55,44 @@ class JsonlSink:
                 "w", encoding="utf-8", buffering=1
             )
         self.rows_written = 0
+        # Byte offset of the last fully committed line.  json.dumps
+        # defaults to ensure_ascii, so every line is pure ASCII and
+        # len(line) == its byte length — committed-offset accounting
+        # costs one addition per write.
+        self._bytes_committed = self.path.stat().st_size
 
     def write(self, index: int, row: tuple, log: EventLog) -> None:
         record = dict(zip(log.field_names(), row))
         self.write_record(record)
 
     def write_record(self, record: dict) -> None:
-        """Append one free-form record as a JSONL line (WAL entries)."""
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        """Append one free-form record as a JSONL line (WAL entries).
+
+        All-or-nothing per record: if the write raises (disk full, IO
+        error), the file is rolled back to the last committed line
+        before the error propagates, so a failed append can never
+        leave a partial line that corrupts the records after it once
+        the caller retries.
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._handle.write(line)
+        except OSError:
+            self._rollback()
+            raise
         self.rows_written += 1
         self.lines_written += 1
+        self._bytes_committed += len(line)
+
+    def _rollback(self) -> None:
+        """Truncate to the last committed line and reopen for append."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        with self.path.open("r+b") as handle:
+            handle.truncate(self._bytes_committed)
+        self._handle = self.path.open("a", encoding="utf-8", buffering=1)
 
     def flush(self) -> None:
         if not self._handle.closed:

@@ -47,6 +47,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.faults.plan import fault_site
+from repro.faults.retry import DEFAULT_IO_RETRY
 from repro.telemetry.columns import (
     Field,
     FloatColumn,
@@ -112,16 +114,49 @@ class ChunkFile:
         return list(self._counts)
 
     def append_chunk(self, values) -> None:
-        """Write one chunk (a stdlib ``array`` of this file's typecode)."""
+        """Write one chunk (a stdlib ``array`` of this file's typecode).
+
+        Chunk flushes retry under the shared IO policy: a transient
+        ``OSError`` rolls the file back to its last committed chunk
+        boundary (closing the handle, truncating any partial bytes)
+        and rewrites the whole chunk, so the on-disk chunk layout is
+        identical whether or not a flush had to be retried.
+        """
         if not len(values):
             return
-        if self._write is None:
-            self._write = self.path.open("ab")
-        self._write.write(values.tobytes())
-        self._write.flush()
+        DEFAULT_IO_RETRY.call(
+            lambda: self._write_chunk(values),
+            retry_on=(OSError,),
+            key=str(self.path),
+        )
         self._starts.append(self.rows)
         self._counts.append(len(values))
         self.rows += len(values)
+
+    def _write_chunk(self, values) -> None:
+        fault_site("spill.flush", path=str(self.path), rows=len(values))
+        try:
+            if self._write is None:
+                self._write = self.path.open("ab")
+            self._write.write(values.tobytes())
+            self._write.flush()
+        except OSError:
+            self._rollback_partial_chunk()
+            raise
+
+    def _rollback_partial_chunk(self) -> None:
+        """Truncate back to the committed chunks after a failed flush."""
+        if self._write is not None:
+            try:
+                self._write.close()
+            except OSError:
+                pass
+            self._write = None
+        try:
+            with self.path.open("r+b") as handle:
+                handle.truncate(self.rows * self.dtype.itemsize)
+        except OSError:
+            pass
 
     def chunk(self, index: int) -> np.memmap:
         """The ``index``-th chunk as a read-only memmap window."""

@@ -74,6 +74,41 @@ def test_wal_resume_truncates_the_torn_tail(tmp_path):
     assert [r["timestamp"] for r in replayed] == [1.0, 2.0]
 
 
+def test_wal_replay_survives_a_tail_torn_mid_multibyte_utf8(tmp_path):
+    # A crash can cut the final line anywhere — including between the
+    # bytes of one UTF-8 code point.  Replay must skip the tail, not
+    # die decoding it (the old text-mode reader raised
+    # UnicodeDecodeError before it could see the missing newline).
+    path = tmp_path / "events.wal"
+    with WriteAheadLog(path) as wal:
+        wal.append(access_event(timestamp=1.0))
+    torn = '{"type": "access", "city": "café"}'.encode("utf-8")
+    with path.open("ab") as handle:
+        handle.write(torn[:-3])  # cut inside the é's two bytes
+    replayed = list(replay_wal(path))
+    assert [r["timestamp"] for r in replayed] == [1.0]
+    resumed = WriteAheadLog(path, resume=True)
+    assert resumed.position == 1
+    resumed.append(access_event(timestamp=2.0))
+    resumed.close()
+    assert len(list(replay_wal(path))) == 2
+
+
+def test_wal_replay_survives_a_tail_torn_mid_json_escape(tmp_path):
+    path = tmp_path / "events.wal"
+    with WriteAheadLog(path) as wal:
+        wal.append(access_event(timestamp=1.0))
+    with path.open("a") as handle:
+        handle.write('{"type": "access", "ua": "quote \\')
+    assert len(list(replay_wal(path))) == 1
+    resumed = WriteAheadLog(path, resume=True)
+    assert resumed.position == 1
+    resumed.close()
+    assert not path.read_text().rstrip("\n").splitlines()[-1].endswith(
+        "\\"
+    )
+
+
 # ----------------------------------------------------------------------
 # JsonlSink reopen-after-kill (regression)
 # ----------------------------------------------------------------------
@@ -148,6 +183,31 @@ def test_restore_replays_only_the_tail_past_the_checkpoint(tmp_path):
     assert restored.classifier.fingerprint() == fingerprint
     assert restored.dashboard_snapshot() == dashboard
     assert load_service_checkpoint(ckpt_path)["wal_position"] == 1
+    restored.close()
+
+
+def test_restore_with_final_record_exactly_at_the_boundary(tmp_path):
+    # Checkpoint position == WAL length: the tail replay is empty, and
+    # the boundary must read as "nothing to do", not "truncated WAL".
+    wal_path = tmp_path / "events.wal"
+    ckpt_path = tmp_path / "service.ckpt"
+    events = _sample_events()
+    state = ServiceState(OnlineClassifier(), wal=WriteAheadLog(wal_path))
+    for record in events:
+        state.apply(record)
+    write_service_checkpoint(ckpt_path, state)
+    fingerprint = state.classifier.fingerprint()
+    state.close()
+
+    assert load_service_checkpoint(ckpt_path)["wal_position"] == len(
+        events
+    )
+    restored = restore_service_state(wal_path, ckpt_path)
+    assert restored.classifier.fingerprint() == fingerprint
+    assert restored.wal.position == len(events)
+    # And the reopened WAL continues from the boundary.
+    restored.apply(access_event(cookie="after", timestamp=9500.0))
+    assert restored.wal.position == len(events) + 1
     restored.close()
 
 
