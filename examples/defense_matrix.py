@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Defender-side sweeps: C3 strictness x attacker mix, with deltas.
+
+The paper measures what attackers do to pwned accounts; the natural
+follow-up question is defender-side: *how much of that activity would a
+credential-checking (C3) service or a breach-notification pipeline have
+prevented?*  ``repro.defenses`` answers it inside the same simulated
+world — defenses are declarative scenario inputs, exactly like attacker
+personas, so a defended run differs from its undefended twin only by
+the defense list.
+
+This example builds a small matrix:
+
+* three defender postures — undefended, a weekly C3 service, and the
+  layered ``defense_matrix`` stack (partial-coverage C3 + breach
+  notification + same-day resets that occasionally re-leak);
+* two attacker mixes — the paper's default crowd and the
+  stuffing-bot-heavy ``credential_stuffing`` mix.
+
+Every cell runs the identical measurement (same seed, same leak plan,
+same monitoring) and is compared with :func:`repro.analysis.
+defense_report`, which reads the defense-action telemetry the engine
+recorded: attacker logins rejected after a forced reset, median
+attacker dwell time before cutoff, and the taxonomy shift relative to
+the undefended baseline of the same attacker mix.
+
+The key determinism property on display: a defense draws all of its
+randomness from per-``(defense, account)`` derived streams, so the
+undefended cells are *bit-identical* to runs made before the defense
+subsystem existed, and defended runs are identical across any shard
+layout.
+
+Run:  python examples/defense_matrix.py [seed] [duration_days]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import scenarios
+from repro.api import BreachNotification, C3Service, ResetPolicy, Scenario
+
+
+def defended_variant(base: Scenario, name: str, *defense_stack) -> Scenario:
+    """The same deployment with a different defender posture."""
+    return (
+        base.to_builder()
+        .named(name)
+        .with_defenses(*defense_stack)
+        .build()
+    )
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2016
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    # Two attacker mixes, shortened for a snappy example run.
+    mixes = {
+        "default_mix": scenarios.get("fast"),
+        "stuffing_mix": scenarios.get("credential_stuffing"),
+    }
+
+    # Three defender postures.  The undefended posture is the baseline
+    # the taxonomy deltas are measured against.
+    postures = {
+        "undefended": (),
+        "c3_weekly": (
+            C3Service(check_period_days=7.0, coverage=1.0, hit_rate=0.9),
+            ResetPolicy(latency_days=1.0),
+        ),
+        "layered": (
+            C3Service(
+                check_period_days=3.0,
+                coverage=0.8,
+                hit_rate=0.85,
+                bucket_fp_rate=0.01,
+            ),
+            BreachNotification(delay_median_days=20.0, compliance=0.8),
+            ResetPolicy(latency_days=0.5, releak_probability=0.1),
+        ),
+    }
+
+    for mix_name, mix_scenario in mixes.items():
+        base = (
+            mix_scenario.to_builder()
+            .with_duration_days(duration)
+            .build()
+        )
+        print(f"=== attacker mix: {mix_name} "
+              f"(seed={seed}, {duration:.0f} days) ===")
+        baseline = None
+        for posture_name, stack in postures.items():
+            scenario = defended_variant(
+                base, f"{mix_name}-{posture_name}", *stack
+            )
+            run = scenario.run(seed=seed)
+            if posture_name == "undefended":
+                baseline = run
+                stats = run.overview()
+                print(f"  {posture_name}: "
+                      f"{stats.unique_accesses} unique accesses, "
+                      f"labels={dict(sorted(stats.label_totals.items()))}")
+                continue
+            report = run.defense_report(baseline=baseline)
+            delta = {
+                label.value: count
+                for label, count in sorted(
+                    (report.taxonomy_delta or {}).items(),
+                    key=lambda kv: kv[0].value,
+                )
+            }
+            dwell = (
+                f"{report.median_dwell_days:.1f}d"
+                if report.median_dwell_days is not None
+                else "n/a"
+            )
+            print(f"  {posture_name}: "
+                  f"prevented={report.prevented_accesses} logins "
+                  f"on {report.prevented_devices} devices, "
+                  f"resets={report.resets}, releaks={report.releaks}, "
+                  f"median dwell before cutoff={dwell}")
+            print(f"    taxonomy shift vs undefended: {delta}")
+        print()
+
+    print("Reading the matrix: stricter postures prevent more attacker")
+    print("logins and shorten dwell time, at the cost of false-positive")
+    print("resets (bucket_fp_rate) and re-leak churn; the taxonomy")
+    print("shift shows which attacker classes each posture suppresses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.analysis.accesses import (
 )
 from repro.analysis.cvm import CvmResult, cramer_von_mises_2samp
 from repro.analysis.dataset import AnalysisResults, analyze
+from repro.analysis.defense import DefenseReport, defense_report
 from repro.analysis.durations import access_durations, time_to_first_access
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.geodist import MedianCircle, distance_vectors, median_circles
@@ -39,6 +40,7 @@ from repro.analysis.tfidf import TfidfTable, compute_tfidf_table
 __all__ = [
     "AnalysisResults",
     "CvmResult",
+    "DefenseReport",
     "Ecdf",
     "KeywordInference",
     "MedianCircle",
@@ -54,6 +56,7 @@ __all__ = [
     "clean_accesses",
     "compute_tfidf_table",
     "cramer_von_mises_2samp",
+    "defense_report",
     "distance_vectors",
     "extract_unique_accesses",
     "infer_searched_words",

@@ -18,6 +18,11 @@ here because they are scenario inputs: ``personas`` is the persona
 registry, :class:`PersonaMix` the per-outlet weighted table a
 :class:`Scenario` carries, and :func:`register_persona` the decorator
 that plugs new attacker archetypes in without touching core modules.
+Defender-side counterparts (:mod:`repro.defenses`) are re-exported for
+the same reason: ``defenses`` is the defense registry,
+:class:`C3Service` / :class:`BreachNotification` / :class:`ResetPolicy`
+the built-ins a scenario's ``defenses`` tuple carries, and
+:func:`register_defense` the plug-in decorator.
 
 Quickstart::
 
@@ -54,17 +59,31 @@ from repro.attackers.personas import (
     personas,
     register_persona,
 )
+from repro.defenses import (
+    BreachNotification,
+    C3Service,
+    Defense,
+    DefenseRegistry,
+    ResetPolicy,
+    defenses,
+    register_defense,
+)
 
 __all__ = [
     "AggregateStats",
     "BatchResult",
     "BatchRunner",
+    "BreachNotification",
+    "C3Service",
+    "Defense",
+    "DefenseRegistry",
     "FailedRun",
     "MetricSummary",
     "Persona",
     "PersonaMix",
     "PersonaRegistry",
     "RegistryEntry",
+    "ResetPolicy",
     "RunResult",
     "SCENARIO_FORMAT_VERSION",
     "Scenario",
@@ -72,7 +91,9 @@ __all__ = [
     "ScenarioRegistry",
     "aggregate_runs",
     "cvm_panel_p_values",
+    "defenses",
     "personas",
+    "register_defense",
     "register_persona",
     "run_scenario",
     "scenarios",

@@ -26,6 +26,8 @@ from pathlib import Path
 from typing import Callable
 
 from repro.analysis.dataset import AnalysisResults, analyze
+from repro.analysis.defense import DefenseReport
+from repro.analysis.defense import defense_report as _defense_report
 from repro.analysis.report import (
     CVM_TESTS,
     OverviewStats,
@@ -154,6 +156,22 @@ class RunResult:
     def overview(self) -> OverviewStats:
         """Overview stats against this run's blacklist snapshot."""
         return overview(self.analysis, self.blacklisted_ips)
+
+    def defense_report(
+        self, *, baseline: "RunResult | None" = None
+    ) -> DefenseReport:
+        """Defender-side effectiveness summary for this run.
+
+        Reuses the cached :attr:`analysis` (same scan period the run
+        was configured with).  Pass an undefended ``baseline`` run of
+        the same scenario to populate the taxonomy-delta columns.
+        """
+        return _defense_report(
+            self.dataset,
+            scan_period=self.config.scan_period,
+            analysis=self.analysis,
+            baseline=None if baseline is None else baseline.analysis,
+        )
 
     def significance(self) -> dict[str, float]:
         """The Section 4.5 CvM p-values that are computable on this run.

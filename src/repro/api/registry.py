@@ -25,6 +25,9 @@ Built-in names:
 ``credential_stuffing``  paste leaks hit by stuffing-bot waves
 ``locale_babel``         Email-Babel-style language-gated engagement
 ``persona_zoo``          every built-in persona active at once
+``c3_defended``          fast setup guarded by a weekly C3 service
+``notified_slow``        slow breach notification, no C3 coverage
+``defense_matrix``       layered C3 + notification + strict resets
 ======================== ==============================================
 """
 
@@ -35,6 +38,7 @@ from typing import Callable, Iterator
 
 from repro.api.scenario import Scenario
 from repro.attackers.personas import PersonaMix
+from repro.defenses import BreachNotification, C3Service, ResetPolicy
 from repro.core.experiment import ExperimentConfig
 from repro.core.groups import OutletKind, paper_leak_plan
 from repro.errors import ConfigurationError
@@ -371,6 +375,82 @@ def _persona_zoo() -> Scenario:
                     ),
                 }
             )
+        )
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "c3_defended",
+    summary="fast deployment guarded by a weekly C3 checking service",
+)
+def _c3_defended() -> Scenario:
+    description = (
+        "fast deployment where every account is enrolled in a weekly "
+        "credential-checking (C3) service that forces a reset on a hit"
+    )
+    return (
+        _base("c3_defended", description)
+        .to_builder()
+        .named("c3_defended")
+        .described(description)
+        .fast_cadence()
+        .with_defenses(
+            C3Service(check_period_days=7.0, coverage=1.0, hit_rate=0.9),
+            ResetPolicy(latency_days=1.0),
+        )
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "notified_slow",
+    summary="breach notification with a slow median delay, no C3",
+)
+def _notified_slow() -> Scenario:
+    description = (
+        "fast deployment defended only by third-party breach "
+        "notification arriving a median 45 days after the leak"
+    )
+    return (
+        _base("notified_slow", description)
+        .to_builder()
+        .named("notified_slow")
+        .described(description)
+        .fast_cadence()
+        .with_defenses(
+            BreachNotification(delay_median_days=45.0, compliance=0.7),
+            ResetPolicy(latency_days=2.0),
+        )
+        .build()
+    )
+
+
+@scenarios.scenario(
+    "defense_matrix",
+    summary="layered C3 + breach notification + strict reset policy",
+)
+def _defense_matrix() -> Scenario:
+    description = (
+        "fast deployment with the full defender stack: partial-coverage "
+        "C3 checks, breach notification, and same-day resets that "
+        "occasionally re-leak"
+    )
+    return (
+        _base("defense_matrix", description)
+        .to_builder()
+        .named("defense_matrix")
+        .described(description)
+        .fast_cadence()
+        .with_defenses(
+            C3Service(
+                check_period_days=3.0,
+                coverage=0.8,
+                hit_rate=0.85,
+                bucket_fp_rate=0.01,
+            ),
+            BreachNotification(delay_median_days=20.0, compliance=0.8),
+            ResetPolicy(latency_days=0.5, releak_probability=0.1),
         )
         .build()
     )

@@ -37,6 +37,7 @@ from repro.attackers.personas import PersonaMix
 from repro.attackers.population import PopulationConfig
 from repro.core.experiment import Experiment, ExperimentConfig
 from repro.core.groups import LeakPlan, OutletKind, paper_leak_plan
+from repro.defenses import Defense, defenses_from_specs
 from repro.errors import ConfigurationError
 from repro.sim.clock import hours, minutes
 
@@ -89,6 +90,10 @@ class Scenario:
             :mod:`repro.shard`).  Sharded runs produce bit-identical
             ``analyze()`` output, so this is an execution knob, not an
             experimental variable.
+        defenses: defender-side mechanisms active during the run
+            (:mod:`repro.defenses`); accepts instances, spec dicts or
+            bare registered names.  Empty (the default) is guaranteed
+            bit-identical to runs predating the defense layer.
         description: one-line human summary shown by ``repro scenarios``.
     """
 
@@ -97,11 +102,17 @@ class Scenario:
     leak_plan: LeakPlan = field(default_factory=paper_leak_plan)
     persona_mix: PersonaMix = field(default_factory=PersonaMix.paper)
     shards: int = 1
+    defenses: tuple[Defense, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ConfigurationError("shards must be >= 1")
+        # Normalise heterogeneous defense specs (names, dicts) into
+        # frozen instances; unknown names fail loudly here.
+        object.__setattr__(
+            self, "defenses", defenses_from_specs(self.defenses)
+        )
 
     # ------------------------------------------------------------------
     # derived views
@@ -142,6 +153,9 @@ class Scenario:
             lines.append(f"  personas={self.persona_mix.summary()}")
         if self.shards != 1:
             lines.append(f"  shards={self.shards}")
+        if self.defenses:
+            names = ",".join(d.name for d in self.defenses)
+            lines.append(f"  defenses={names}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -163,6 +177,16 @@ class Scenario:
         if shards == self.shards:
             return self
         return replace(self, shards=shards)
+
+    def with_defenses(self, *specs) -> "Scenario":
+        """The same scenario under a different defense list.
+
+        Accepts :class:`~repro.defenses.Defense` instances, spec dicts
+        or bare registered names; call with no arguments to strip all
+        defenses.  Unlike :meth:`with_shards` this *is* an experimental
+        variable — sweeps content-address it.
+        """
+        return replace(self, defenses=defenses_from_specs(specs))
 
     @classmethod
     def builder(cls, base: "Scenario | None" = None) -> "ScenarioBuilder":
@@ -206,6 +230,11 @@ class Scenario:
         }
         if self.shards != 1:
             data["shards"] = self.shards
+        # Omitted when empty so defenses-off scenarios keep their
+        # pre-defense canonical JSON (sweep content addresses, golden
+        # fingerprints and stored results all stay valid).
+        if self.defenses:
+            data["defenses"] = [d.to_dict() for d in self.defenses]
         return data
 
     @classmethod
@@ -235,6 +264,7 @@ class Scenario:
             leak_plan=leak_plan,
             persona_mix=persona_mix,
             shards=data.get("shards", 1),
+            defenses=tuple(data.get("defenses", ())),
             description=data.get("description", ""),
         )
 
@@ -273,6 +303,7 @@ class ScenarioBuilder:
         self._leak_plan = base.leak_plan
         self._persona_mix = base.persona_mix
         self._shards = base.shards
+        self._defenses = base.defenses
         # A base whose horizon is already decoupled from its duration
         # was built that way on purpose; keep round-trips faithful.
         self._horizon_set_explicitly = (
@@ -396,6 +427,20 @@ class ScenarioBuilder:
         self._shards = shards
         return self
 
+    # -- defender side -------------------------------------------------
+    def with_defenses(self, *specs) -> "ScenarioBuilder":
+        """Replace the defense list (instances, spec dicts or names)."""
+        self._defenses = defenses_from_specs(specs)
+        return self
+
+    def adding_defense(self, spec) -> "ScenarioBuilder":
+        """Append one defense to the current list."""
+        self._defenses = self._defenses + defenses_from_specs((spec,))
+        return self
+
+    def without_defenses(self) -> "ScenarioBuilder":
+        return self.with_defenses()
+
     # -- leak plan overrides -------------------------------------------
     def with_leak_plan(self, plan: LeakPlan) -> "ScenarioBuilder":
         self._leak_plan = plan
@@ -440,5 +485,6 @@ class ScenarioBuilder:
             leak_plan=self._leak_plan,
             persona_mix=self._persona_mix,
             shards=self._shards,
+            defenses=self._defenses,
             description=self._description,
         )

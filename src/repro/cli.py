@@ -14,6 +14,10 @@ Usage::
     python -m repro scenarios paste_only      # describe one entry
     python -m repro personas                  # list attacker personas
     python -m repro personas lurker           # describe one persona
+    python -m repro defenses                  # list defender mechanisms
+    python -m repro defenses c3               # describe one defense
+    python -m repro run --scenario c3_defended --seed 7
+    python -m repro run --defenses 'c3,reset_policy' --seed 7
     python -m repro sweep --seeds 2016..2018 --jobs 2
     python -m repro sweep --store results-store --seeds 2016..2023
     python -m repro sweep --store results-store --resume --backend pool
@@ -23,6 +27,11 @@ Usage::
 ``--persona-mix`` accepts a compact ``name=weight`` spec (combos join
 with ``+``, applied to every outlet of the plan), inline JSON, or a
 path to a ``PersonaMix`` JSON file.
+
+``--defenses`` accepts comma-separated registered defense names (each
+with its default parameters), inline JSON (a list of defense specs),
+or a path to a JSON file of specs; it replaces the scenario's defense
+list.  ``--defenses ''`` strips all defenses from a defended scenario.
 
 ``sweep --store DIR`` turns a one-shot sweep into a persistent,
 memoized campaign (:mod:`repro.sweeps`): completed (scenario, seed,
@@ -53,6 +62,7 @@ from repro.api.registry import scenarios
 from repro.api.runner import BatchRunner
 from repro.api.scenario import Scenario
 from repro.attackers.personas import PersonaMix, personas
+from repro.defenses import Defense, defenses, defenses_from_specs
 from repro.errors import ConfigurationError, ReproError
 
 
@@ -99,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
             dest="persona_mix",
             help="override the attacker persona mix: 'name=w,name2+name3=w2' "
             "(applied to every outlet), inline JSON, or a JSON file path",
+        )
+        sub.add_argument(
+            "--defenses", default=None, metavar="SPEC",
+            dest="defenses",
+            help="replace the scenario's defender stack: comma-separated "
+            "defense names ('c3,reset_policy'), inline JSON (a list of "
+            "defense specs), a JSON file path, or '' to strip defenses",
         )
     run_parser.add_argument(
         "--telemetry-out", default=None, metavar="DIR",
@@ -276,6 +293,15 @@ def _build_parser() -> argparse.ArgumentParser:
     personas_parser.add_argument(
         "name", nargs="?", default=None,
         help="persona to describe (omit to list all)",
+    )
+
+    defenses_parser = subparsers.add_parser(
+        "defenses",
+        help="list registered defender mechanisms, or describe one",
+    )
+    defenses_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="defense to describe (omit to list all)",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -462,6 +488,42 @@ def parse_persona_mix_spec(spec: str, scenario: Scenario) -> PersonaMix:
     ).validate()
 
 
+def parse_defenses_spec(spec: str) -> tuple[Defense, ...]:
+    """Parse a ``--defenses`` value into configured defense instances.
+
+    Four forms: the empty string (strip all defenses), inline JSON
+    starting with ``[`` (a list of defense specs, each a name string or
+    a ``{"name": ..., <param>: ...}`` dict), a path to a JSON file
+    holding such a list, or comma-separated registered names (each
+    instantiated with its default parameters).  Unknown names and
+    unknown parameters raise :class:`~repro.errors.ConfigurationError`
+    listing the known ones.
+    """
+    text = spec.strip()
+    if not text:
+        return ()
+    if text.startswith("["):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad defenses JSON: {exc}") from exc
+        return defenses_from_specs(payload)
+    if text.endswith(".json") or Path(text).is_file():
+        try:
+            payload = json.loads(Path(text).read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read defenses file {text!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"bad defenses JSON in {text!r}: {exc}"
+            ) from exc
+        return defenses_from_specs(payload)
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    return defenses_from_specs(names)
+
+
 def _resolve_scenario(args) -> Scenario:
     """The scenario a run/tables invocation asks for, seed applied."""
     scenario_file = getattr(args, "scenario_file", None)
@@ -494,6 +556,10 @@ def _resolve_scenario(args) -> Scenario:
     if getattr(args, "persona_mix", None):
         mix = parse_persona_mix_spec(args.persona_mix, scenario)
         scenario = scenario.to_builder().with_personas(mix).build()
+    if getattr(args, "defenses", None) is not None:
+        scenario = scenario.with_defenses(
+            *parse_defenses_spec(args.defenses)
+        )
     return scenario
 
 
@@ -651,6 +717,10 @@ def _report_run(run, args, *, spilled: list | None = None) -> int:
         print(f"cvm {name}: p={p_value:.7f}")
     if run.analysis.persona_report.matched_accesses:
         print(format_persona_report(run.analysis))
+    if run.scenario.defenses:
+        print("defense report:")
+        for line in run.defense_report().describe().splitlines():
+            print(f"  {line}")
     if args.out:
         written = export_results(
             run.analysis, args.out, blacklisted_ips=run.blacklisted_ips
@@ -778,6 +848,16 @@ def _command_personas(args) -> int:
             print(f"{persona.name:<{width}}  {persona.summary}")
         return 0
     print(personas.get(args.name).describe())
+    return 0
+
+
+def _command_defenses(args) -> int:
+    if args.name is None:
+        width = max(len(name) for name in defenses.names())
+        for defense_cls in defenses:
+            print(f"{defense_cls.name:<{width}}  {defense_cls.summary}")
+        return 0
+    print(defenses.get(args.name)().describe())
     return 0
 
 
@@ -970,6 +1050,7 @@ _COMMANDS = {
     "tables": _command_tables,
     "scenarios": _command_scenarios,
     "personas": _command_personas,
+    "defenses": _command_defenses,
     "sweep": _command_sweep,
     "compare": _command_compare,
     "store": _command_store,

@@ -40,6 +40,7 @@ from repro.core.sharding import (
     pinned_account_count,
 )
 from repro.core.sinkhole import SINKHOLE_ADDRESS, SinkholeMailServer
+from repro.defenses.engine import DefenseEngine
 from repro.errors import ConfigurationError
 from repro.leaks.formats import leak_content_for, render_paste
 from repro.leaks.forums import UndergroundForum
@@ -182,12 +183,18 @@ class Experiment:
         persona_mix: "PersonaMix | None" = None,
         shard: ShardSpec | None = None,
         telemetry_budget=None,
+        defenses: tuple = (),
     ) -> None:
         self.config = config or ExperimentConfig()
         self.leak_plan = leak_plan or paper_leak_plan()
         #: Which attacker personas each outlet attracts; ``None`` keeps
         #: the population's default (the paper's calibrated mix).
         self.persona_mix = persona_mix
+        #: Defender-side mechanisms (:mod:`repro.defenses`) active
+        #: during the run; empty means the pre-defense instruction
+        #: stream executes unchanged.
+        self.defenses = tuple(defenses)
+        self.defense_engine: DefenseEngine | None = None
         #: Out-of-core policy for the monitor's telemetry stores
         #: (:class:`repro.telemetry.TelemetryBudget`); ``None`` keeps
         #: every store resident in RAM.
@@ -206,6 +213,7 @@ class Experiment:
         self.carding: CardingForumRegistration | None = None
         self._quota_notified: set[str] = set()
         self._provisioned = False
+        self._leaked = False
         self._built = False
         self._build_seconds = 0.0
         self._measuring = False
@@ -251,6 +259,7 @@ class Experiment:
             persona_mix=getattr(scenario, "persona_mix", None),
             shard=shard,
             telemetry_budget=telemetry_budget,
+            defenses=getattr(scenario, "defenses", ()),
         )
 
     @property
@@ -417,7 +426,11 @@ class Experiment:
         return self.honey_accounts
 
     def leak_credentials(self) -> LeakLedger:
-        """Leak every group on its outlet (step 3)."""
+        """Leak every group on its outlet (step 3).  Idempotent: a
+        second call (e.g. from :meth:`schedule_defenses`, which needs
+        the leak times) must not re-publish any leak."""
+        if self._leaked:
+            return self.ledger
         if not self._provisioned:
             self.provision_accounts()
         by_group: dict[str, list[HoneyAccount]] = {}
@@ -431,6 +444,7 @@ class Experiment:
                 self._leak_on_forums(group.venues, accounts)
             else:
                 self._leak_via_malware(accounts)
+        self._leaked = True
         return self.ledger
 
     def _leak_on_paste_sites(self, venues, accounts) -> None:
@@ -579,6 +593,42 @@ class Experiment:
         if len(paste_accounts) > start + 8:
             self.carding.schedule(paste_accounts[start + 8].address)
 
+    def schedule_defenses(self) -> None:
+        """Plan and schedule the scenario's defenses (defender side of
+        step 4).  Idempotent; a no-op for an empty defense list, which
+        is the bit-identical defenses-off guarantee.
+
+        Unlike the case studies this is *not* gated to shard 0: defense
+        timelines are per-account (derived RNG streams keyed on the
+        account address), so each shard schedules exactly its owned
+        accounts' triggers and the merged telemetry matches the serial
+        run row for row.
+        """
+        if not self.defenses or self.defense_engine is not None:
+            return
+        self.leak_credentials()
+        engine = DefenseEngine(
+            self.defenses,
+            master_seed=self.config.master_seed,
+            sim=self.sim,
+            service=self.service,
+            monitor=self.monitor,
+            population=self.population,
+            horizon=days(self.config.duration_days),
+        )
+        owned = (
+            self.honey_accounts
+            if self._shard_is_serial
+            else self.owned_accounts
+        )
+        for honey in owned:
+            leak_time = self.ledger.first_leak_time(honey.address)
+            engine.schedule_account(
+                honey.address,
+                leak_time if leak_time is not None else float("inf"),
+            )
+        self.defense_engine = engine
+
     # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
@@ -602,6 +652,7 @@ class Experiment:
             self.leak_credentials()
         with timer.phase("case_studies"):
             self.schedule_case_studies()
+            self.schedule_defenses()
             self.monitor.start()
         with timer.phase("simulate"), capture_profile(profile_path):
             executed = self.sim.run_until(days(self.config.duration_days))
@@ -655,6 +706,7 @@ class Experiment:
         self.provision_accounts()
         self.leak_credentials()
         self.schedule_case_studies()
+        self.schedule_defenses()
         self.monitor.start()
         self._measuring = True
 
@@ -727,6 +779,7 @@ class Experiment:
             access_store=self.monitor.access_store,
             notification_store=self.monitor.notification_store,
             failure_log=self.monitor.failure_log,
+            defense_store=self.monitor.defense_store,
         )
         dataset.monitor_ips = set(self.monitor.monitor_ip_strings)
         dataset.monitor_city = self.monitor.monitor_city.name
@@ -764,19 +817,24 @@ class Experiment:
         are deliberately *not* registered personas, so the analysis
         layer's signature table reports them in its ``other`` bucket.
         """
-        minted = self.service.sessions.minted_cookies()
+        minted = self.service.sessions.all_minted_cookies()
         truth: dict[tuple[str, str], tuple[str, ...]] = {}
         for agent in self.population.agents:
-            cookie = minted.get((agent.device_id, agent.account_address))
-            if cookie is not None:
+            for cookie in minted.get(
+                (agent.device_id, agent.account_address), ()
+            ):
                 truth[(agent.account_address, str(cookie))] = (
                     agent.profile.persona_names
                 )
-        for (device_id, address), cookie in minted.items():
+        for (device_id, address), cookies in minted.items():
             if device_id == "blackmailer-rig":
-                truth[(address, str(cookie))] = ("case_study:blackmail",)
+                labels = ("case_study:blackmail",)
             elif device_id.startswith("draft-reader-"):
-                truth[(address, str(cookie))] = ("case_study:draft_reader",)
+                labels = ("case_study:draft_reader",)
+            else:
+                continue
+            for cookie in cookies:
+                truth[(address, str(cookie))] = labels
         return truth
 
 

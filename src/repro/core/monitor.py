@@ -52,6 +52,7 @@ from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.telemetry import (
     AccessStore,
+    DefenseActionStore,
     JsonlSink,
     NotificationStore,
     RowView,
@@ -157,6 +158,11 @@ class MonitorInfrastructure:
             strings=self.telemetry_strings
         )
         self.failure_log = ScrapeFailureLog(strings=self.telemetry_strings)
+        # Defender-side actions (checks/notifies/resets); like the
+        # failure log it is tiny and stays resident.
+        self.defense_store = DefenseActionStore(
+            strings=self.telemetry_strings
+        )
         self._spill_sinks: list[tuple[object, JsonlSink]] = []
         self._process: PeriodicProcess | None = None
 
@@ -221,6 +227,19 @@ class MonitorInfrastructure:
     def watch(self, address: str, password: str) -> None:
         """Start scraping an account with its leaked credentials."""
         self._watched[address] = _WatchedAccount(address, password)
+
+    def update_password(self, address: str, new_password: str) -> None:
+        """Re-sync the scraper after a defender-forced password reset.
+
+        The monitoring team runs the defenses, so the scraper learns
+        the new credential immediately and any lockout caused by the
+        reset racing a scrape tick clears on the next visit.
+        """
+        watched = self._watched.get(address)
+        if watched is None:
+            return
+        watched.password = new_password
+        watched.locked_out = False
 
     def start(self) -> None:
         """Begin the periodic scrape of all watched accounts."""

@@ -38,6 +38,7 @@ from repro.core.notifications import (
 )
 from repro.telemetry import (
     AccessStore,
+    DefenseActionStore,
     NotificationStore,
     RowView,
     ScrapeFailureLog,
@@ -97,6 +98,27 @@ def access_to_fields(access: ObservedAccess) -> tuple:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class DefenseAction:
+    """One defender-side event (check, notify, reset, ...).
+
+    Field order matches :data:`repro.telemetry.DEFENSE_ACTION_FIELDS`,
+    so a columnar row tuple expands positionally:
+    ``DefenseAction(*row)``.
+    """
+
+    defense: str
+    action: str
+    account_address: str
+    timestamp: float
+    detail: str = ""
+
+
+def defense_action_row_factory(log, index: int) -> DefenseAction:
+    """Materialise one :class:`DefenseAction` from a columnar row."""
+    return DefenseAction(*log.row(index))
+
+
 @dataclass(frozen=True)
 class AccountProvenance:
     """Leak provenance of one honey account (known to the researchers)."""
@@ -138,6 +160,7 @@ class ObservedDataset:
         self._access_store = AccessStore(strings=strings)
         self._notification_store = NotificationStore(strings=strings)
         self._failure_log = ScrapeFailureLog(strings=strings)
+        self._defense_store = DefenseActionStore(strings=strings)
         self.provenance: dict[str, AccountProvenance] = {}
         self.monitor_ips: set[str] = set()
         self.monitor_city: str | None = None
@@ -154,16 +177,24 @@ class ObservedDataset:
         access_store: AccessStore,
         notification_store: NotificationStore,
         failure_log: ScrapeFailureLog,
+        defense_store: DefenseActionStore | None = None,
     ) -> "ObservedDataset":
         """Adopt live telemetry stores without copying a single row.
 
         This is the zero-copy handoff at the end of a run: the monitor's
-        stores *become* the dataset's backing storage.
+        stores *become* the dataset's backing storage.  ``defense_store``
+        is optional for compatibility with pre-defense callers; when
+        omitted an empty store joins the adopted string table.
         """
         dataset = cls()
         dataset._access_store = access_store
         dataset._notification_store = notification_store
         dataset._failure_log = failure_log
+        dataset._defense_store = (
+            defense_store
+            if defense_store is not None
+            else DefenseActionStore(strings=access_store.strings)
+        )
         return dataset
 
     # ------------------------------------------------------------------
@@ -174,12 +205,14 @@ class ObservedDataset:
         "accesses": "_access_store",
         "notifications": "_notification_store",
         "scrape_failures": "_failure_log",
+        "defense_actions": "_defense_store",
     }
 
     _STORE_CLASSES = {
         "accesses": AccessStore,
         "notifications": NotificationStore,
         "scrape_failures": ScrapeFailureLog,
+        "defense_actions": DefenseActionStore,
     }
 
     def configure_spill(
@@ -304,6 +337,10 @@ class ObservedDataset:
     def failure_log(self) -> ScrapeFailureLog:
         return self._failure_log
 
+    @property
+    def defense_store(self) -> DefenseActionStore:
+        return self._defense_store
+
     # ------------------------------------------------------------------
     # row-compatible accessors
     # ------------------------------------------------------------------
@@ -342,6 +379,24 @@ class ObservedDataset:
         self._failure_log = log
 
     @property
+    def defense_actions(self) -> RowView:
+        """Defender-side events, lazily materialised."""
+        return RowView(self._defense_store, defense_action_row_factory)
+
+    @defense_actions.setter
+    def defense_actions(self, rows: Iterable[DefenseAction]) -> None:
+        store = DefenseActionStore(strings=self._defense_store.strings)
+        for action in rows:
+            store.append_fields(
+                action.defense,
+                action.action,
+                action.account_address,
+                action.timestamp,
+                action.detail,
+            )
+        self._defense_store = store
+
+    @property
     def account_addresses(self) -> tuple[str, ...]:
         return tuple(self.provenance)
 
@@ -371,8 +426,13 @@ class ObservedDataset:
     # serialization
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict:
-        """Column-wise JSON round trip of the whole dataset."""
-        return {
+        """Column-wise JSON round trip of the whole dataset.
+
+        ``defense_actions`` is emitted only when non-empty, so
+        defenses-off datasets serialize exactly as they did before the
+        defense layer existed (committed goldens stay valid).
+        """
+        payload = {
             "accesses": self._access_store.to_json_dict(),
             "notifications": self._notification_store.to_json_dict(),
             "scrape_failures": self._failure_log.to_json_dict(),
@@ -394,6 +454,9 @@ class ObservedDataset:
                 )
             ],
         }
+        if len(self._defense_store):
+            payload["defense_actions"] = self._defense_store.to_json_dict()
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "ObservedDataset":
@@ -408,6 +471,13 @@ class ObservedDataset:
             ),
             failure_log=ScrapeFailureLog.from_json_dict(
                 data["scrape_failures"], strings=strings
+            ),
+            defense_store=(
+                DefenseActionStore.from_json_dict(
+                    data["defense_actions"], strings=strings
+                )
+                if data.get("defense_actions")
+                else None
             ),
         )
         dataset.provenance = {
@@ -451,6 +521,7 @@ class ObservedDataset:
             blocked_accounts=list(self.blocked_accounts),
             scrape_failures=[tuple(row) for row in self._failure_log],
             ground_truth_personas=dict(self.ground_truth_personas),
+            defense_actions=list(self.defense_actions),
         )
 
     def __repr__(self) -> str:
@@ -482,6 +553,7 @@ class LegacyObservedDataset:
     ground_truth_personas: dict[tuple[str, str], tuple[str, ...]] = field(
         default_factory=dict
     )
+    defense_actions: list[DefenseAction] = field(default_factory=list)
 
     @property
     def account_addresses(self) -> tuple[str, ...]:

@@ -1,0 +1,48 @@
+"""Defender-side ecosystem: pluggable defenses against account hijacking.
+
+The paper measures attacker behaviour with the defender held fixed;
+this package gives the defender the same pluggable treatment the
+attacker side got from personas.  A :class:`Defense` plans per-account
+trigger timelines (credential-checking lookups, breach notifications)
+from derived per-account RNG streams; the :class:`DefenseEngine`
+executes them inside the simulation — forcing password resets that
+revoke sessions, rotate cookie generations, and lock attackers out —
+and records every defender action in the columnar
+:class:`~repro.telemetry.stores.DefenseActionStore`.
+
+Defenses are scenario state: ``Scenario(defenses=(C3Service(...),))``
+serialises losslessly, sweeps content-address it, and an empty defense
+list is guaranteed bit-identical to runs predating this package.
+
+See ``docs/DEFENSES.md`` for the model and its mapping to the
+literature.
+"""
+
+from repro.defenses.base import (
+    Defense,
+    DefenseRegistry,
+    DefenseTrigger,
+    FireResult,
+    defense_from_dict,
+    defenses,
+    defenses_from_specs,
+    register_defense,
+)
+from repro.defenses.builtin import BreachNotification, C3Service, ResetPolicy
+from repro.defenses.engine import DefenseEngine, build_engine
+
+__all__ = [
+    "BreachNotification",
+    "C3Service",
+    "Defense",
+    "DefenseEngine",
+    "DefenseRegistry",
+    "DefenseTrigger",
+    "FireResult",
+    "ResetPolicy",
+    "build_engine",
+    "defense_from_dict",
+    "defenses",
+    "defenses_from_specs",
+    "register_defense",
+]

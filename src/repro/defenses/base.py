@@ -1,0 +1,273 @@
+"""The defender-side counterpart of the persona API.
+
+A :class:`Defense` is a named, parameterised defender mechanism — a
+credential-checking service, a breach-notification pipeline, a reset
+policy.  Like attacker personas, defenses live in a process-wide
+registry (:data:`defenses`, populated via :func:`register_defense`) and
+are addressed by name from scenarios, sweeps and the CLI.
+
+Unlike personas, a defense carries parameters (check cadence, coverage,
+delay distributions), so the registry maps names to *classes*; a
+scenario holds configured frozen instances, each JSON-lossless via
+:meth:`Defense.to_dict` / :func:`defense_from_dict` so sweep campaigns
+content-address them.
+
+Determinism contract: a defense draws randomness only inside
+:meth:`Defense.plan`, from the per-``(defense, account)`` RNG the engine
+hands it — never from shared streams — so plans are identical no matter
+how accounts are partitioned across shards.  At runtime the engine
+re-interprets the pre-drawn uniforms against live account state
+(:meth:`Defense.fire`), which is itself a pure per-account function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class DefenseTrigger:
+    """One planned defender wake-up for one account.
+
+    Attributes:
+        defense: registered name of the defense that planned it (keyed
+            back to the instance at fire time, and stamped on telemetry
+            rows).
+        time: absolute sim-time the trigger fires.
+        draw: a pre-drawn uniform in [0, 1) the defense interprets at
+            fire time against live account state (detect vs false
+            positive, comply vs ignore).  Pre-drawing keeps every RNG
+            consumption inside :meth:`Defense.plan`, which is what makes
+            runs shard-safe.
+    """
+
+    defense: str
+    time: float
+    draw: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class FireResult:
+    """What one trigger did: telemetry rows plus an optional reset.
+
+    Attributes:
+        records: ``(action, detail)`` pairs appended to the
+            :class:`~repro.telemetry.stores.DefenseActionStore`.
+        reset: whether this trigger demands a forced password reset
+            (applied by the engine after the reset policy's latency).
+        reset_detail: detail string stamped on the eventual reset row.
+    """
+
+    records: tuple[tuple[str, str], ...] = ()
+    reset: bool = False
+    reset_detail: str = ""
+
+
+@dataclass(frozen=True)
+class Defense:
+    """One named defender mechanism.
+
+    Subclass as a frozen dataclass whose fields are the mechanism's
+    parameters; set ``name`` and ``summary`` as plain class attributes
+    (they are registry metadata, not parameters).  Override
+    :meth:`plan` to emit triggers and :meth:`fire` to interpret them;
+    both have inert defaults so purely-configurational defenses (the
+    reset policy) are just parameter bags.
+    """
+
+    #: registry key; also the ``defense`` column on telemetry rows.
+    name = ""
+    #: one line for ``repro defenses``.
+    summary = ""
+
+    def plan(
+        self,
+        rng: random.Random,
+        *,
+        address: str,
+        leak_time: float,
+        horizon: float,
+    ) -> tuple[DefenseTrigger, ...]:
+        """Plan this account's triggers (the only place to draw RNG).
+
+        Args:
+            rng: fresh per-``(defense, account)`` stream.
+            address: the honey-account address.
+            leak_time: sim-time the credential entered the leak corpus.
+            horizon: sim-time the measurement ends; triggers at or past
+                it are pointless.
+        """
+        return ()
+
+    def fire(
+        self, trigger: DefenseTrigger, *, compromised: bool
+    ) -> FireResult:
+        """Interpret one trigger against live account state.
+
+        Must be a pure function of ``(trigger, compromised)`` — no RNG,
+        no shared state — so replaying one account's trigger sequence
+        yields the same actions on any shard layout.
+        """
+        return FireResult()
+
+    def to_dict(self) -> dict:
+        """JSON-lossless spec: ``{"name": ..., <param>: ...}``."""
+        spec: dict = {"name": self.name}
+        for field in dataclasses.fields(self):
+            spec[field.name] = getattr(self, field.name)
+        return spec
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{field.name}={getattr(self, field.name)!r}"
+            for field in dataclasses.fields(self)
+        )
+        return (
+            f"{self.name}: {self.summary or '(no summary)'}\n"
+            f"  defaults: {params or '(no parameters)'}"
+        )
+
+
+class DefenseRegistry:
+    """Name -> :class:`Defense` subclass mapping with introspection."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, type[Defense]] = {}
+
+    def register(
+        self, defense_cls: type[Defense], *, replace: bool = False
+    ) -> None:
+        if not defense_cls.name:
+            raise ConfigurationError("defense needs a non-empty name")
+        if defense_cls.name in self._entries and not replace:
+            raise ConfigurationError(
+                f"defense {defense_cls.name!r} is already registered"
+            )
+        self._entries[defense_cls.name] = defense_cls
+
+    def get(self, name: str) -> type[Defense]:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise ConfigurationError(
+                f"unknown defense {name!r}; known defenses: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[type[Defense]]:
+        for name in self.names():
+            yield self._entries[name]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __reduce__(self):
+        # The process-wide registry pickles by reference (same rationale
+        # as the persona registry: a receiving process wants *its*
+        # registry, and serializing entries would drag in modules the
+        # unpickler cannot import).  Custom registries pickle by value.
+        if self is defenses:
+            return (_process_registry, ())
+        return (DefenseRegistry, (), self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def _process_registry() -> "DefenseRegistry":
+    return defenses
+
+
+#: The process-wide registry every entry point consults.
+defenses = DefenseRegistry()
+
+
+def register_defense(
+    cls: type | None = None,
+    *,
+    registry: DefenseRegistry | None = None,
+    replace: bool = False,
+) -> Callable[[type], type] | type:
+    """Class decorator: register a :class:`Defense` subclass by name.
+
+    Usage::
+
+        @register_defense
+        @dataclass(frozen=True)
+        class HoneyTokens(Defense):
+            name = "honey_tokens"
+            tokens_per_account: int = 3
+            ...
+
+    Registration mutates the process-global registry; the same ``fork``
+    / ``spawn`` caveats as :func:`repro.attackers.personas.
+    register_persona` apply to worker processes.
+    """
+
+    def decorate(klass: type) -> type:
+        target = defenses if registry is None else registry
+        target.register(klass, replace=replace)
+        return klass
+
+    if cls is not None:
+        return decorate(cls)
+    return decorate
+
+
+def defense_from_dict(
+    data: dict | str, *, registry: DefenseRegistry | None = None
+) -> Defense:
+    """Rebuild a defense from its :meth:`Defense.to_dict` spec.
+
+    Accepts a bare name string as shorthand for ``{"name": name}``
+    (instantiating the defense with its defaults).
+
+    Raises:
+        ConfigurationError: unknown name (the message lists known
+            names) or parameters the defense does not take.
+    """
+    target = defenses if registry is None else registry
+    if isinstance(data, str):
+        data = {"name": data}
+    spec = dict(data)
+    name = spec.pop("name", None)
+    if not name:
+        raise ConfigurationError(
+            f"defense spec needs a 'name' key: {data!r}"
+        )
+    defense_cls = target.get(name)
+    known_fields = {f.name for f in dataclasses.fields(defense_cls)}
+    unknown = sorted(set(spec) - known_fields)
+    if unknown:
+        raise ConfigurationError(
+            f"defense {name!r} does not take parameter(s) "
+            f"{', '.join(unknown)}; known parameters: "
+            f"{', '.join(sorted(known_fields)) or '(none)'}"
+        )
+    return defense_cls(**spec)
+
+
+def defenses_from_specs(
+    specs: object, *, registry: DefenseRegistry | None = None
+) -> tuple[Defense, ...]:
+    """Parse a heterogeneous defense list (instances, dicts, names)."""
+    if specs is None:
+        return ()
+    parsed: list[Defense] = []
+    for spec in specs:  # type: ignore[union-attr]
+        if isinstance(spec, Defense):
+            parsed.append(spec)
+        else:
+            parsed.append(defense_from_dict(spec, registry=registry))
+    return tuple(parsed)

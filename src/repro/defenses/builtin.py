@@ -1,0 +1,219 @@
+"""The built-in defender mechanisms.
+
+Three defenses cover the ecosystem PAPERS.md names:
+
+* :class:`C3Service` — a compromised-credential-checking service in the
+  MIGP mould: the provider periodically looks the account's credential
+  up in the (bucketized) leak corpus and forces a reset on a hit.
+  Bucketization shows up as a false-positive rate — a check can land in
+  a breached bucket and trigger a precautionary reset even before the
+  honey credential itself leaks.
+* :class:`BreachNotification` — the slow human pipeline: the user hears
+  about the breach after a long log-normal delay and (with some
+  compliance probability) resets the password themselves.
+* :class:`ResetPolicy` — not a trigger source but the shared mechanics
+  of every forced reset: how long the reset takes to land after its
+  trigger, and whether the *new* credential re-leaks.
+
+All randomness is consumed inside :meth:`~repro.defenses.base.Defense.
+plan` from a per-``(defense, account)`` stream; ``fire`` re-interprets
+the pre-drawn uniforms against live account state so a credential that
+re-leaks after a reset is detectable again by later checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.defenses.base import (
+    Defense,
+    DefenseTrigger,
+    FireResult,
+    register_defense,
+)
+from repro.errors import ConfigurationError
+from repro.sim.clock import days
+
+
+@register_defense
+@dataclass(frozen=True)
+class C3Service(Defense):
+    """Periodic credential-checking lookups against the leak corpus.
+
+    Attributes:
+        check_period_days: days between lookups for an enrolled account.
+        coverage: fraction of accounts enrolled in the service.
+        hit_rate: P(lookup detects the credential | it is in the
+            corpus) — models corpus coverage lag and bucket slicing.
+        bucket_fp_rate: P(a lookup on a *clean* credential still lands
+            in a breached bucket) — the MIGP bucketization artefact; a
+            false positive forces a precautionary reset.
+    """
+
+    name = "c3"
+    summary = (
+        "periodic credential-checking lookups with MIGP-style buckets; "
+        "hits force password resets"
+    )
+
+    check_period_days: float = 7.0
+    coverage: float = 1.0
+    hit_rate: float = 0.9
+    bucket_fp_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.check_period_days <= 0:
+            raise ConfigurationError(
+                f"c3 check_period_days must be positive, got "
+                f"{self.check_period_days}"
+            )
+        for field_name in ("coverage", "hit_rate", "bucket_fp_rate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"c3 {field_name} must be in [0, 1], got {value}"
+                )
+
+    def plan(self, rng, *, address, leak_time, horizon):
+        if rng.random() >= self.coverage:
+            return ()
+        period = days(self.check_period_days)
+        # A continuous per-account phase staggers check times so no two
+        # accounts (and no check and attacker visit) ever tie exactly —
+        # event order at equal times is insertion order, which a
+        # sharded run cannot reproduce.
+        time = rng.random() * period
+        triggers = []
+        while time < horizon:
+            triggers.append(
+                DefenseTrigger(self.name, time, draw=rng.random())
+            )
+            time += period
+        return tuple(triggers)
+
+    def fire(self, trigger, *, compromised):
+        if compromised:
+            if trigger.draw < self.hit_rate:
+                return FireResult(
+                    records=(("check", ""), ("detect", "")),
+                    reset=True,
+                    reset_detail="c3_hit",
+                )
+            return FireResult(records=(("check", "miss"),))
+        if trigger.draw < self.bucket_fp_rate:
+            return FireResult(
+                records=(("check", ""), ("detect", "false_positive")),
+                reset=True,
+                reset_detail="bucket_false_positive",
+            )
+        return FireResult(records=(("check", ""),))
+
+
+@register_defense
+@dataclass(frozen=True)
+class BreachNotification(Defense):
+    """Delayed breach notification followed by an owner-driven reset.
+
+    The breach-to-notification delay is log-normal (heavy right tail:
+    many users hear within weeks, some only after years), parameterised
+    by its median in days.  On notification the owner resets the
+    password with probability ``compliance``; the rest ignore it.
+
+    Attributes:
+        delay_median_days: median of the log-normal notification delay.
+        delay_sigma: shape of the log-normal (sigma of the underlying
+            normal); 0 collapses to a fixed delay.
+        compliance: P(owner actually resets after being notified).
+    """
+
+    name = "breach_notification"
+    summary = (
+        "log-normal breach-to-notification delay, then an owner reset "
+        "with some compliance probability"
+    )
+
+    delay_median_days: float = 30.0
+    delay_sigma: float = 0.8
+    compliance: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.delay_median_days <= 0:
+            raise ConfigurationError(
+                f"breach_notification delay_median_days must be "
+                f"positive, got {self.delay_median_days}"
+            )
+        if self.delay_sigma < 0:
+            raise ConfigurationError(
+                f"breach_notification delay_sigma must be >= 0, got "
+                f"{self.delay_sigma}"
+            )
+        if not 0.0 <= self.compliance <= 1.0:
+            raise ConfigurationError(
+                f"breach_notification compliance must be in [0, 1], "
+                f"got {self.compliance}"
+            )
+
+    def plan(self, rng, *, address, leak_time, horizon):
+        delay_days = self.delay_median_days * math.exp(
+            self.delay_sigma * rng.gauss(0.0, 1.0)
+        )
+        time = leak_time + days(delay_days)
+        draw = rng.random()
+        if time >= horizon:
+            return ()
+        return (DefenseTrigger(self.name, time, draw=draw),)
+
+    def fire(self, trigger, *, compromised):
+        if trigger.draw < self.compliance:
+            return FireResult(
+                records=(("notify", ""),),
+                reset=True,
+                reset_detail="owner_reset",
+            )
+        return FireResult(records=(("notify", "ignored"),))
+
+
+@register_defense
+@dataclass(frozen=True)
+class ResetPolicy(Defense):
+    """Mechanics shared by every forced reset (no triggers of its own).
+
+    At most one reset policy may appear in a scenario's defense list;
+    the engine falls back to ``ResetPolicy()`` defaults when none does.
+
+    Attributes:
+        latency_days: days between a reset trigger (C3 hit,
+            notification) and the password actually changing.
+        releak_probability: P(the *new* credential leaks again) — users
+            who reset to a password they reuse elsewhere.
+        releak_delay_days: days between a reset and its re-leak
+            becoming available to attackers.
+    """
+
+    name = "reset_policy"
+    summary = (
+        "reset mechanics: trigger-to-reset latency and re-leak "
+        "behaviour of the new credential"
+    )
+
+    latency_days: float = 1.0
+    releak_probability: float = 0.0
+    releak_delay_days: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.latency_days < 0:
+            raise ConfigurationError(
+                f"reset_policy latency_days must be >= 0, got "
+                f"{self.latency_days}"
+            )
+        if not 0.0 <= self.releak_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_policy releak_probability must be in [0, 1], "
+                f"got {self.releak_probability}"
+            )
+        if self.releak_delay_days < 0:
+            raise ConfigurationError(
+                f"reset_policy releak_delay_days must be >= 0, got "
+                f"{self.releak_delay_days}"
+            )

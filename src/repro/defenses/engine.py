@@ -1,0 +1,311 @@
+"""Runtime execution of a scenario's defenses.
+
+:class:`DefenseEngine` is the bridge between the declarative defense
+specs on a :class:`~repro.api.scenario.Scenario` and the simulation:
+it plans per-account triggers (all RNG up front, from per-account
+derived streams), schedules them on the simulator, and at fire time
+applies the consequences — telemetry rows, forced password resets,
+session/cookie invalidation, monitor re-sync, and optional re-leaks.
+
+Shard safety is the load-bearing property.  Every draw comes from
+``derive_seed(master_seed, "defenses", <defense>, <address>)`` (or the
+``"defenses", "reset", <address>`` stream for reset-time draws), so an
+account's defense timeline is a pure function of the master seed and
+its own address: a shard that owns the account replays exactly the
+serial run's timeline, and shards that don't own it draw nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Iterable
+
+from repro.defenses.base import Defense, DefenseTrigger
+from repro.defenses.builtin import ResetPolicy
+from repro.errors import ConfigurationError
+from repro.sim.clock import days
+from repro.sim.rng import derive_seed
+
+if TYPE_CHECKING:
+    from repro.attackers.population import AttackerPopulation
+    from repro.core.monitor import MonitorInfrastructure
+    from repro.sim.engine import Simulator
+    from repro.webmail.service import LoginContext, WebmailService
+
+#: Device id of the monitoring scraper; its post-reset login failures
+#: are infrastructure noise, not prevented attacker accesses.
+_MONITOR_DEVICE = "monitor-browser"
+
+
+@dataclass
+class _AccountState:
+    """Live defense state for one defended account."""
+
+    #: Sim-time the credential entered the leak corpus (``inf`` for
+    #: accounts whose leak never landed, e.g. a dead sandbox C&C).
+    leak_time: float = float("inf")
+    #: Attackers hold a working credential for the account right now.
+    #: Starts ``False``; flips lazily once a trigger fires at or after
+    #: ``leak_time`` (triggers execute in time order per account).
+    compromised: bool = False
+    #: Guards the one-time leak transition so a post-reset account is
+    #: not re-marked compromised by the original leak.
+    leak_seen: bool = False
+    #: A reset has been triggered but not yet applied (dedups triggers
+    #: racing within one reset latency window).
+    reset_pending: bool = False
+    #: Resets applied so far (a prevented login needs at least one).
+    resets_applied: int = 0
+    #: Lazily-built per-account stream for reset-time draws (new
+    #: password text, re-leak coin); ``None`` until the first reset.
+    reset_rng: random.Random | None = field(default=None, repr=False)
+
+
+class DefenseEngine:
+    """Plans, schedules and executes a scenario's defenses.
+
+    Args:
+        defense_list: the scenario's configured defense instances.
+        master_seed: the experiment's master seed (stream derivation).
+        sim: the simulation engine.
+        service: the webmail provider (resets, session revocation).
+        monitor: monitoring infrastructure (telemetry store, scraper
+            credential re-sync).
+        population: attacker population (re-leak password adoption).
+        horizon: absolute sim-time the measurement ends.
+    """
+
+    def __init__(
+        self,
+        defense_list: Iterable[Defense],
+        *,
+        master_seed: int,
+        sim: "Simulator",
+        service: "WebmailService",
+        monitor: "MonitorInfrastructure",
+        population: "AttackerPopulation",
+        horizon: float,
+    ) -> None:
+        self._defenses: list[Defense] = []
+        policies = []
+        for defense in defense_list:
+            if isinstance(defense, ResetPolicy):
+                policies.append(defense)
+            else:
+                self._defenses.append(defense)
+        if len(policies) > 1:
+            raise ConfigurationError(
+                "a scenario may list at most one reset_policy defense"
+            )
+        self.reset_policy: ResetPolicy = (
+            policies[0] if policies else ResetPolicy()
+        )
+        self._by_name: dict[str, Defense] = {
+            defense.name: defense for defense in self._defenses
+        }
+        self._master_seed = master_seed
+        self._sim = sim
+        self._service = service
+        self._monitor = monitor
+        self._population = population
+        self._horizon = horizon
+        self._states: dict[str, _AccountState] = {}
+        self.triggers_planned = 0
+        service.auth_failure_listener = self._on_auth_failure
+
+    # ------------------------------------------------------------------
+    # planning / scheduling
+    # ------------------------------------------------------------------
+    def schedule_account(self, address: str, leak_time: float) -> None:
+        """Plan and schedule every defense's triggers for one account.
+
+        Call once per *owned* account after its leak time is known
+        (shards call it only for the accounts they simulate; the
+        per-account streams make the result independent of which shard
+        does).
+        """
+        if address in self._states:
+            return
+        self._states[address] = _AccountState(leak_time=leak_time)
+        schedule_at = self._sim.schedule_at
+        for defense in self._defenses:
+            rng = random.Random(
+                derive_seed(
+                    self._master_seed, "defenses", defense.name, address
+                )
+            )
+            triggers = defense.plan(
+                rng,
+                address=address,
+                leak_time=leak_time,
+                horizon=self._horizon,
+            )
+            for trigger in triggers:
+                schedule_at(
+                    trigger.time,
+                    partial(self._fire, defense.name, trigger, address),
+                    label=f"defense:{defense.name}:{address}",
+                )
+                self.triggers_planned += 1
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        defense: str,
+        action: str,
+        address: str,
+        timestamp: float,
+        detail: str = "",
+    ) -> None:
+        self._monitor.defense_store.append_fields(
+            defense, action, address, timestamp, detail
+        )
+
+    def _fire(
+        self, defense_name: str, trigger: DefenseTrigger, address: str
+    ) -> None:
+        defense = self._by_name[defense_name]
+        state = self._states[address]
+        if not state.leak_seen and trigger.time >= state.leak_time:
+            state.leak_seen = True
+            state.compromised = True
+        result = defense.fire(trigger, compromised=state.compromised)
+        for action, detail in result.records:
+            self._record(defense_name, action, address, trigger.time, detail)
+        if result.reset and not state.reset_pending:
+            state.reset_pending = True
+            reset_time = trigger.time + days(self.reset_policy.latency_days)
+            self._sim.schedule_at(
+                reset_time,
+                partial(
+                    self._apply_reset,
+                    defense_name,
+                    address,
+                    reset_time,
+                    result.reset_detail,
+                ),
+                label=f"defense:reset:{address}",
+            )
+
+    def _reset_rng(self, state: _AccountState, address: str) -> random.Random:
+        if state.reset_rng is None:
+            state.reset_rng = random.Random(
+                derive_seed(self._master_seed, "defenses", "reset", address)
+            )
+        return state.reset_rng
+
+    def _apply_reset(
+        self,
+        defense_name: str,
+        address: str,
+        reset_time: float,
+        detail: str,
+    ) -> None:
+        state = self._states[address]
+        state.reset_pending = False
+        rng = self._reset_rng(state, address)
+        new_password = "reset-" + "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            for _ in range(12)
+        )
+        # Researchers own the honey accounts, so the reset bypasses the
+        # session-scoped API: credentials change, every outstanding
+        # session dies, and the next cookie minted for any device on
+        # this account comes from a fresh generation (old cookies no
+        # longer re-identify the device).
+        account = self._service.account(address)
+        account.change_password(new_password, reset_time)
+        self._service.sessions.revoke_account_sessions(address)
+        self._service.sessions.bump_cookie_generation(address)
+        # The defender and the measurement are the same team: the
+        # scraper is handed the new credential immediately, so activity
+        # monitoring continues across the reset.
+        self._monitor.update_password(address, new_password)
+        state.compromised = False
+        # Any leak published before or after this point carries the
+        # *old* credential, so the one-time leak transition is spent: a
+        # false-positive reset landing before the leak leaves attackers
+        # holding a stale password from day one.
+        state.leak_seen = True
+        state.resets_applied += 1
+        self._record(defense_name, "reset", address, reset_time, detail)
+        releak_draw = rng.random()
+        if releak_draw < self.reset_policy.releak_probability:
+            releak_time = reset_time + days(
+                self.reset_policy.releak_delay_days
+            )
+            if releak_time < self._horizon:
+                self._sim.schedule_at(
+                    releak_time,
+                    partial(
+                        self._releak, address, new_password, releak_time
+                    ),
+                    label=f"defense:releak:{address}",
+                )
+
+    def _releak(
+        self, address: str, password: str, releak_time: float
+    ) -> None:
+        state = self._states[address]
+        state.compromised = True
+        for agent in self._population.agents:
+            if agent.account_address == address:
+                agent.adopt_password(password)
+        self._record(
+            self.reset_policy.name, "releak", address, releak_time
+        )
+
+    def _on_auth_failure(
+        self, address: str, context: "LoginContext", now: float
+    ) -> None:
+        state = self._states.get(address)
+        if state is None or state.resets_applied == 0:
+            return
+        if context.device_id == _MONITOR_DEVICE:
+            return
+        self._record(
+            "engine",
+            "prevented_login",
+            address,
+            now,
+            detail=context.device_id,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def defended_accounts(self) -> int:
+        return len(self._states)
+
+    def detach(self) -> None:
+        """Unhook the engine from the service (end of measurement)."""
+        if self._service.auth_failure_listener is self._on_auth_failure:
+            self._service.auth_failure_listener = None
+
+
+def build_engine(
+    defense_list: Iterable[Defense],
+    **kwargs,
+) -> DefenseEngine | None:
+    """A :class:`DefenseEngine`, or ``None`` for an empty defense list.
+
+    The ``None`` path is the bit-identical guarantee: no engine means
+    no listener hook, no RNG streams, no scheduled events — a
+    defenses-off run executes exactly the instruction stream it did
+    before ``repro.defenses`` existed.
+    """
+    defense_list = tuple(defense_list)
+    if not defense_list:
+        return None
+    return DefenseEngine(defense_list, **kwargs)
+
+
+__all__ = [
+    "DefenseEngine",
+    "build_engine",
+]

@@ -139,25 +139,43 @@ def _execute_shard(task: tuple) -> ShardRun:
 # ----------------------------------------------------------------------
 # merge
 # ----------------------------------------------------------------------
-def _access_ticks(timestamps: list[float], period: float) -> list[int]:
+def _access_ticks(
+    timestamps: list[float],
+    period: float,
+    delimiters: list[bool],
+) -> list[int]:
     """Scrape-tick indices at which one account's rows were ingested.
 
-    An activity event lands in the access store at the first scrape
-    tick at or after the moment it was *recorded on the page* —
-    ``ceil(timestamp / period)`` for everything recorded live (the
-    scraper's own login rows carry the tick time itself, which ceil
-    maps back to that tick).  The exception is the sandbox campaign:
-    it writes its login rows during world build with *future*
-    timestamps, so they sit at the head of the page and drain at the
-    account's first scrape.  Page order makes ingestion ticks monotone
-    non-decreasing, and every successful scrape appends the scraper's
-    own row, so a right-to-left running minimum of the ceil ticks
-    recovers the true ingestion tick for those future-stamped rows.
+    Every *successful* scrape of an account logs in first (appending
+    the scraper's own row to the activity page, stamped with the exact
+    tick time) and then reads the page tail — so in page order, each
+    ingestion batch ends with a scraper login row, and that row's
+    timestamp names the batch's tick.  ``delimiters`` marks those rows
+    (monitor-IP rows whose timestamp sits exactly on the tick grid); a
+    right-to-left scan assigns every row the tick of the next delimiter
+    at or after it.
+
+    This recovers two cases a plain ``ceil(timestamp / period)`` gets
+    wrong: the sandbox campaign's future-stamped login rows (written at
+    world build, drained at the account's first scrape) and backlog
+    drained after a lockout clears (a defender-forced reset re-syncs
+    the scraper's credential mid-run, so rows recorded while the
+    scraper was locked out are ingested at the first tick after the
+    reset, not the first tick after their timestamps).
     """
-    ticks = [math.ceil(ts / period) for ts in timestamps]
-    for i in range(len(ticks) - 2, -1, -1):
-        if ticks[i + 1] < ticks[i]:
-            ticks[i] = ticks[i + 1]
+    ticks = [0] * len(timestamps)
+    next_tick: int | None = None
+    for i in range(len(timestamps) - 1, -1, -1):
+        if delimiters[i]:
+            # Exact division: delimiter timestamps are tick times.
+            next_tick = int(timestamps[i] / period)
+            ticks[i] = next_tick
+        elif next_tick is not None:
+            ticks[i] = next_tick
+        else:
+            # No following scrape row (not produced by the monitor's
+            # batch structure); fall back to the live-recording model.
+            ticks[i] = math.ceil(timestamps[i] / period)
     return ticks
 
 
@@ -310,14 +328,32 @@ def merge_shard_runs(
     for s, run in enumerate(shard_runs):
         store = run.dataset.access_store
         lookup = store.strings.lookup
+        id_of = store.strings.id_of
         timestamps = store.timestamps
+        ip_ids = store.ip_ids
+        # Scraper login rows delimit ingestion batches: monitor-IP rows
+        # stamped exactly on the tick grid.  (Sandbox rows also carry
+        # monitor IPs but continuous build-time timestamps, so the grid
+        # test excludes them.)
+        monitor_ip_ids = {
+            id_of(ip)
+            for ip in run.dataset.monitor_ips
+            if id_of(ip) is not None
+        }
         rows_by_account: dict[int, list[int]] = {}
         for r, account_id in enumerate(store.account_ids):
             rows_by_account.setdefault(account_id, []).append(r)
         for account_id, row_ids in rows_by_account.items():
             index = watch_index[lookup(account_id)]
             ticks = _access_ticks(
-                [timestamps[r] for r in row_ids], scrape_period
+                [timestamps[r] for r in row_ids],
+                scrape_period,
+                [
+                    ip_ids[r] in monitor_ip_ids
+                    and timestamps[r] > 0.0
+                    and timestamps[r] % scrape_period == 0.0
+                    for r in row_ids
+                ],
             )
             access_keys.extend(
                 (tick, index, s, r) for tick, r in zip(ticks, row_ids)
@@ -367,6 +403,41 @@ def merge_shard_runs(
         remaps,
     )
 
+    # Defense actions carry continuous per-account trigger times (the
+    # planner jitters every check phase), so scheduled rows never tie
+    # across accounts.  The one cross-account tie source is synchronous
+    # ``prevented_login`` rows from attacker burst waves, where many
+    # devices attempt at one shared arrival instant; serial execution
+    # order there is device-creation order, i.e. ascending device id —
+    # the ``detail`` column.  Within an account, same-time rows (check +
+    # detect) keep their recorded sequence: equal details fall through
+    # to (shard, row), which is shard-invariant because an account
+    # lives in one shard, and a detect's detail ("", "false_positive")
+    # never sorts before its check's "".
+    defense_keys: list[tuple] = []
+    for s, run in enumerate(shard_runs):
+        store = run.dataset.defense_store
+        lookup = store.strings.lookup
+        timestamps = store.timestamps
+        details = store.detail_ids
+        defense_keys.extend(
+            (
+                timestamps[r],
+                lookup(details[r]),
+                watch_index[lookup(account_id)],
+                s,
+                r,
+            )
+            for r, account_id in enumerate(store.account_ids)
+        )
+    defense_keys.sort()
+    _merge_columns(
+        merged.defense_store,
+        [run.dataset.defense_store for run in shard_runs],
+        [(s, r) for *_, s, r in defense_keys],
+        remaps,
+    )
+
     # Account-keyed fields rebuild in watch order from the owner shard,
     # which is exactly the order the serial assembly walks accounts in.
     merged.monitor_city = shard_runs[0].dataset.monitor_city
@@ -402,6 +473,7 @@ def merge_shard_runs(
         "access_rows": len(access_keys),
         "notification_rows": len(notification_keys),
         "failure_rows": len(failure_keys),
+        "defense_rows": len(defense_keys),
         "merge_seconds": round(time.perf_counter() - started, 6),
     }
     return merged, diagnostics
@@ -620,6 +692,9 @@ def dataset_mismatches(
     )
     compare_rows(
         "scrape_failures", expected.failure_log, actual.failure_log
+    )
+    compare_rows(
+        "defense_actions", expected.defense_store, actual.defense_store
     )
     if list(expected.provenance) != list(actual.provenance):
         mismatches.append("provenance: account order differs")

@@ -45,8 +45,10 @@ from repro.telemetry.interning import (
 from repro.telemetry.sinks import JsonlSink, read_jsonl, write_jsonl
 from repro.telemetry.stores import (
     ACCESS_FIELDS,
+    DEFENSE_ACTION_FIELDS,
     NOTIFICATION_FIELDS,
     AccessStore,
+    DefenseActionStore,
     NotificationStore,
     ScrapeFailureLog,
     ScrapeLogStore,
@@ -78,6 +80,8 @@ __all__ = [
     "ACCESS_FIELDS",
     "AccessStore",
     "CountByKey",
+    "DEFENSE_ACTION_FIELDS",
+    "DefenseActionStore",
     "DiskStringTable",
     "EventCursor",
     "EventLog",

@@ -66,6 +66,19 @@ SCRAPE_FAILURE_FIELDS: tuple[Field, ...] = (
     Field("timestamp", "f64"),
 )
 
+#: Schema of one defender-side action.  ``defense`` is the registered
+#: defense name (``c3``, ``breach_notification``, ...), ``action`` one
+#: of its event kinds (``check``, ``detect``, ``notify``, ``reset``,
+#: ``prevented_login``, ``releak``), ``detail`` a short free-form tag
+#: (e.g. ``"false_positive"``) — all low-cardinality, so interned.
+DEFENSE_ACTION_FIELDS: tuple[Field, ...] = (
+    Field("defense", "intern"),
+    Field("action", "intern"),
+    Field("account_address", "intern"),
+    Field("timestamp", "f64"),
+    Field("detail", "intern"),
+)
+
 
 class AccessStore(EventLog):
     """Columnar store of scraped activity-page rows."""
@@ -248,3 +261,47 @@ class ScrapeFailureLog(EventLog):
 
     def __init__(self, *, strings: StringTable | None = None) -> None:
         super().__init__(SCRAPE_FAILURE_FIELDS, strings=strings)
+
+
+class DefenseActionStore(EventLog):
+    """Columnar store of defender-side actions (checks/notifies/resets).
+
+    Row volume is tiny next to the access stream (a handful of rows per
+    defended account), so like the failure log it stays resident by
+    default; it still spills through the standard machinery when an
+    :class:`~repro.core.records.ObservedDataset` is spilled wholesale.
+    """
+
+    def __init__(self, *, strings: StringTable | None = None) -> None:
+        super().__init__(DEFENSE_ACTION_FIELDS, strings=strings)
+        self._after_restore()
+
+    def _after_restore(self) -> None:
+        columns = self._columns
+        self.defense_ids = columns[0].ids
+        self.action_ids = columns[1].ids
+        self.account_ids = columns[2].ids
+        self.timestamps = columns[3].data
+        self.detail_ids = columns[4].ids
+
+    def append_fields(
+        self,
+        defense: str,
+        action: str,
+        account_address: str,
+        timestamp: float,
+        detail: str = "",
+    ) -> int:
+        """Ingest one defender action."""
+        intern = self.strings.intern
+        index = len(self.timestamps)
+        self.defense_ids.append(intern(defense))
+        self.action_ids.append(intern(action))
+        self.account_ids.append(intern(account_address))
+        self.timestamps.append(timestamp)
+        self.detail_ids.append(intern(detail))
+        if self._sinks:
+            self._notify_sinks(index)
+        if self._spill is not None:
+            self._maybe_flush()
+        return index

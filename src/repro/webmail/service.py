@@ -64,6 +64,11 @@ class WebmailService:
             policy=abuse_policy or AbusePolicy(), rng=rng
         )
         self.search_log: list[SearchQuery] = []
+        #: Optional hook fired on every bad-password login attempt with
+        #: ``(address, context, now)`` — the defense layer counts
+        #: post-reset attacker lockouts through it.  ``None`` (the
+        #: default) adds nothing to the login path.
+        self.auth_failure_listener = None
         self.router.set_inbound_delivery(self._deliver_local)
 
     # ------------------------------------------------------------------
@@ -140,6 +145,8 @@ class WebmailService:
         if account.is_blocked:
             raise AccountBlockedError(address, account.blocked_reason or "")
         if not account.verify_password(password):
+            if self.auth_failure_listener is not None:
+                self.auth_failure_listener(address, context, now)
             raise AuthenticationError(f"bad password for {address}")
         session = self.sessions.open_session(
             context.device_id, address, now

@@ -67,6 +67,14 @@ class SessionManager:
         default_factory=lambda: itertools.count(1)
     )
     _cookie_seed: int = field(init=False)
+    #: Per-account cookie generation; bumped on forced resets so a
+    #: returning device minting "again" gets a fresh identifier.
+    _cookie_generations: dict[str, int] = field(default_factory=dict)
+    #: Cookies invalidated by generation bumps, oldest first — kept so
+    #: ground-truth attribution still covers pre-reset accesses.
+    _retired_cookies: dict[tuple[str, str], list[Cookie]] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         # One draw at construction (a fixed point in the service build
@@ -79,15 +87,64 @@ class SessionManager:
         key = (device_id, account_address)
         cookie = self._device_cookies.get(key)
         if cookie is None:
-            mint = random.Random(
-                derive_seed(self._cookie_seed, device_id, account_address)
-            )
+            # Generation 0 (the only generation unless a defense forced
+            # a reset) derives from the exact path it always has, so
+            # defenses-off runs mint byte-identical cookies; later
+            # generations extend the path with the generation number.
+            generation = self._cookie_generations.get(account_address, 0)
+            if generation:
+                seed = derive_seed(
+                    self._cookie_seed,
+                    device_id,
+                    account_address,
+                    str(generation),
+                )
+            else:
+                seed = derive_seed(
+                    self._cookie_seed, device_id, account_address
+                )
+            mint = random.Random(seed)
             token = "".join(
                 mint.choice("abcdef0123456789") for _ in range(24)
             )
             cookie = Cookie(f"ck-{token}")
             self._device_cookies[key] = cookie
         return cookie
+
+    def bump_cookie_generation(self, account_address: str) -> int:
+        """Invalidate minted cookies on an account (forced reset).
+
+        Cached cookies for the account are dropped, so every device —
+        attacker or monitor — presents a fresh generation-``n``
+        identifier on its next login; the activity page then shows the
+        post-reset visits as new unique accesses, exactly as a real
+        provider's cookie rotation would.  Returns the new generation.
+        """
+        generation = self._cookie_generations.get(account_address, 0) + 1
+        self._cookie_generations[account_address] = generation
+        for key in [
+            key
+            for key in self._device_cookies
+            if key[1] == account_address
+        ]:
+            self._retired_cookies.setdefault(key, []).append(
+                self._device_cookies.pop(key)
+            )
+        return generation
+
+    def all_minted_cookies(self) -> dict[tuple[str, str], tuple[Cookie, ...]]:
+        """Every cookie ever minted per (device, account), oldest first.
+
+        Unlike :meth:`minted_cookies` this includes generations retired
+        by :meth:`bump_cookie_generation`, so ground-truth attribution
+        covers accesses recorded before a forced reset."""
+        combined: dict[tuple[str, str], tuple[Cookie, ...]] = {
+            key: tuple(retired)
+            for key, retired in self._retired_cookies.items()
+        }
+        for key, cookie in self._device_cookies.items():
+            combined[key] = combined.get(key, ()) + (cookie,)
+        return combined
 
     def minted_cookies(self) -> dict[tuple[str, str], Cookie]:
         """Every cookie minted so far, keyed by (device, account).
